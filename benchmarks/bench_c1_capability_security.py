@@ -1,0 +1,153 @@
+"""C1 — §3.1: proxy capabilities vs traditional capabilities under attack.
+
+"An attacker can not obtain such a capability by tapping the network to
+observe the presentation of capabilities by legitimate users."  We stage
+exactly that attack against both designs, and also measure the price of the
+protection (presentation cost: possession proof vs raw token) and the
+revocation property (revoking the grantor revokes all derived copies).
+"""
+
+import pytest
+
+from conftest import fresh_realm, report
+from repro.acl import SinglePrincipal
+from repro.baselines import PlainCapabilityServer
+from repro.core.restrictions import Authorized, AuthorizedEntry
+from repro.errors import ReproError
+from repro.kerberos.proxy_support import grant_via_credentials
+from repro.net import Eavesdropper
+from repro.net.message import is_error, raise_if_error
+
+
+def proxy_world():
+    realm = fresh_realm(b"c1-proxy")
+    alice = realm.user("alice")
+    bob = realm.user("bob")
+    fs = realm.file_server("files")
+    fs.grant_owner(alice.principal)
+    fs.put("doc", b"data")
+    creds = alice.kerberos.get_ticket(fs.principal)
+    cap = grant_via_credentials(
+        creds,
+        (Authorized(entries=(AuthorizedEntry("doc", ("read",)),)),),
+        realm.clock.now(),
+    )
+    return realm, alice, bob, fs, cap
+
+
+def plain_world():
+    realm = fresh_realm(b"c1-plain")
+    alice = realm.user("alice")
+    bob = realm.user("bob")
+    server = PlainCapabilityServer(
+        realm.principal("cap-server"), realm.network, realm.clock
+    )
+    server.add_owner(alice.principal)
+    server.register_operation("read", lambda who, p: {"data": b"data"})
+    token = realm.network.send(
+        alice.principal, server.principal, "issue",
+        {"operations": ["read"], "target": "doc", "expires_at": None},
+    )["token"]
+    return realm, alice, bob, server, token
+
+
+def test_proxy_presentation_cost(benchmark):
+    realm, alice, bob, fs, cap = proxy_world()
+    client = bob.client_for(fs.principal)
+
+    def run():
+        return client.request("read", "doc", proxy=cap, anonymous=True)
+
+    assert benchmark(run)["data"] == b"data"
+
+
+def test_plain_token_presentation_cost(benchmark):
+    realm, alice, bob, server, token = plain_world()
+
+    def run():
+        return realm.network.send(
+            bob.principal, server.principal, "request",
+            {"token": token, "operation": "read", "target": "doc"},
+        )
+
+    assert benchmark(run)["data"] == b"data"
+
+
+def test_c1_attack_report(benchmark):
+    rows = []
+
+    # Attack 1: tap + replay against restricted proxies.
+    realm, alice, bob, fs, cap = proxy_world()
+    mallory = Eavesdropper("mallory")
+    mallory.attach(realm.network)
+    bob.client_for(fs.principal).request(
+        "read", "doc", proxy=cap, anonymous=True
+    )
+    captured = mallory.last_of_type("request")
+    reply = mallory.replay(realm.network, captured)
+    rows.append(
+        (
+            "restricted proxy",
+            "tap + replay presentation",
+            "REJECTED" if is_error(reply) else "succeeded (bug)",
+        )
+    )
+    assert is_error(reply)
+
+    # Attack 2: the same against traditional capabilities.
+    realm, alice, bob, server, token = plain_world()
+    mallory = Eavesdropper("mallory2")
+    mallory.attach(realm.network)
+    realm.network.send(
+        bob.principal, server.principal, "request",
+        {"token": token, "operation": "read", "target": "doc"},
+    )
+    stolen = mallory.last_of_type("request").payload["token"]
+    reply = realm.network.send(
+        mallory.principal, server.principal, "request",
+        {"token": stolen, "operation": "read", "target": "doc"},
+    )
+    rows.append(
+        (
+            "traditional capability",
+            "tap + reuse stolen token",
+            "succeeded" if not is_error(reply) else "rejected (?)",
+        )
+    )
+    assert not is_error(reply)
+
+    report(
+        "C1 / §3.1: eavesdropping attack outcome",
+        rows, ("design", "attack", "outcome"),
+    )
+    benchmark(lambda: None)
+
+
+def test_c1_revocation_report(benchmark):
+    """'One can revoke a capability by changing the access rights available
+    to the grantor' — all copies die at once."""
+    realm, alice, bob, fs, cap = proxy_world()
+    from repro.core.proxy import cascade
+
+    copy1 = cap
+    copy2 = cap.handoff(
+        cascade(cap.proxy, (), realm.clock.now(), realm.clock.now() + 600)
+    )
+    client = bob.client_for(fs.principal)
+    assert client.request("read", "doc", proxy=copy1, anonymous=True)
+    assert client.request("read", "doc", proxy=copy2, anonymous=True)
+
+    fs.acl.remove_subject(SinglePrincipal(alice.principal))
+    outcomes = []
+    for label, bundle in (("original", copy1), ("derived copy", copy2)):
+        try:
+            client.request("read", "doc", proxy=bundle, anonymous=True)
+            outcomes.append((label, "still works (bug)"))
+        except ReproError:
+            outcomes.append((label, "revoked"))
+    report(
+        "C1 / §3.1: revocation via the grantor's rights",
+        outcomes, ("capability copy", "after ACL change"),
+    )
+    assert all(outcome == "revoked" for _, outcome in outcomes)
+    benchmark(lambda: None)

@@ -1,0 +1,150 @@
+"""C2 — §3.3/§5: group proxies vs Grapevine-style online lookup.
+
+"With the distributed authorization and group services supported by
+restricted proxies, the authorization decision can be delegated to a remote
+server" — and, unlike Grapevine/YP, the *verification* does not require
+contacting that server per request.  We measure requests-per-lookup for
+both designs across request counts and group sizes.
+"""
+
+import pytest
+
+from conftest import fresh_realm, report
+from repro.acl import AclEntry, GroupSubject
+from repro.baselines import GrapevineEndServer, GrapevineRegistry
+from repro.net.message import raise_if_error
+
+N_REQUESTS = 20
+
+
+def proxy_world(group_size):
+    realm = fresh_realm(b"c2-proxy-%d" % group_size)
+    gs = realm.group_server("groups")
+    members = [realm.user(f"member{i}") for i in range(group_size)]
+    staff = gs.create_group("staff", tuple(m.principal for m in members))
+    fs = realm.file_server("files")
+    fs.put("doc", b"data")
+    fs.acl.add(AclEntry(subject=GroupSubject(staff), operations=("read",)))
+    return realm, gs, fs, members[0]
+
+
+def grapevine_world(group_size):
+    realm = fresh_realm(b"c2-gv-%d" % group_size)
+    registry = GrapevineRegistry(
+        realm.principal("registry"), realm.network, realm.clock
+    )
+    members = [realm.user(f"member{i}") for i in range(group_size)]
+    registry.create_group("staff", tuple(m.principal for m in members))
+    end = GrapevineEndServer(
+        realm.principal("gv-end"), realm.network, realm.clock,
+        registry.principal, "staff",
+    )
+    end.register_operation("read", lambda who, p: {"data": b"data"})
+    return realm, registry, end, members[0]
+
+
+@pytest.mark.parametrize("group_size", [10, 100, 1000])
+def test_group_proxy_requests(benchmark, group_size):
+    realm, gs, fs, member = proxy_world(group_size)
+    gid, gproxy = member.group_client(gs.principal).get_group_proxy(
+        "staff", fs.principal
+    )
+    client = member.client_for(fs.principal)
+    client.establish_session()
+
+    def run():
+        for _ in range(N_REQUESTS):
+            client.request("read", "doc", group_proxies=[(gid, gproxy)])
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("group_size", [10, 100, 1000])
+def test_grapevine_requests(benchmark, group_size):
+    realm, registry, end, member = grapevine_world(group_size)
+
+    def run():
+        for _ in range(N_REQUESTS):
+            raise_if_error(
+                realm.network.send(
+                    member.principal, end.principal, "request",
+                    {"operation": "read"},
+                )
+            )
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_c2_message_report(benchmark):
+    rows = []
+    for n in (1, 10, 50):
+        realm, gs, fs, member = proxy_world(10)
+        gid, gproxy = member.group_client(gs.principal).get_group_proxy(
+            "staff", fs.principal
+        )
+        client = member.client_for(fs.principal)
+        client.establish_session()
+        before = realm.network.metrics.snapshot()
+        for _ in range(n):
+            client.request("read", "doc", group_proxies=[(gid, gproxy)])
+        proxy_group_msgs = realm.network.metrics.delta_since(
+            before
+        ).messages_to(gs.principal)
+
+        realm, registry, end, member = grapevine_world(10)
+        before = realm.network.metrics.snapshot()
+        for _ in range(n):
+            realm.network.send(
+                member.principal, end.principal, "request",
+                {"operation": "read"},
+            )
+        gv_registry_msgs = realm.network.metrics.delta_since(
+            before
+        ).messages_to(registry.principal)
+        rows.append((n, proxy_group_msgs, gv_registry_msgs))
+    report(
+        "C2 / §3.3 vs Grapevine: group-authority contacts per N requests",
+        rows,
+        ("requests", "proxy: group-server msgs", "grapevine: registry msgs"),
+    )
+    # Proxies: zero per request after the one-time fetch; Grapevine: one per
+    # request.
+    assert all(row[1] == 0 and row[2] == row[0] for row in rows)
+    benchmark(lambda: None)
+
+
+def test_c2_revocation_tradeoff_report(benchmark):
+    """The flip side the paper accepts: proxies revoke at expiry, online
+    lookup revokes immediately."""
+    realm, gs, fs, member = proxy_world(10)
+    gid, gproxy = member.group_client(gs.principal).get_group_proxy(
+        "staff", fs.principal
+    )
+    client = member.client_for(fs.principal)
+    client.establish_session()
+    gs.remove_member("staff", member.principal)
+    # The already-issued proxy still works until it expires...
+    still_works = bool(
+        client.request("read", "doc", group_proxies=[(gid, gproxy)])
+    )
+    # ...but no new proxy can be fetched.
+    from repro.errors import AuthorizationDenied
+
+    try:
+        member.group_client(gs.principal).get_group_proxy(
+            "staff", fs.principal
+        )
+        refetch = "allowed (bug)"
+    except AuthorizationDenied:
+        refetch = "denied"
+    report(
+        "C2: revocation window trade-off",
+        [
+            ("outstanding proxy after removal",
+             "valid until expiry" if still_works else "dead"),
+            ("new proxy after removal", refetch),
+        ],
+        ("event", "behaviour"),
+    )
+    assert still_works and refetch == "denied"
+    benchmark(lambda: None)

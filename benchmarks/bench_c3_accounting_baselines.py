@@ -1,0 +1,187 @@
+"""C3 — §4/§5: check-based accounting vs Amoeba's prepay bank.
+
+"In Amoeba, a client must contact the bank and transfer funds into the
+server's account before it contacts the server."  The consequence: every
+new client/server pairing pays up-front bank round-trips on the client's
+critical path, while a check rides along with the request and clears
+afterwards.  We drive the same Zipf payment workload through both designs.
+"""
+
+import pytest
+
+from conftest import fresh_realm, report
+from repro.baselines import AmoebaBank, AmoebaClient, AmoebaServer
+from repro.crypto.rng import Rng
+from repro.workloads import payment_workload
+
+N_PAYMENTS = 15
+N_CLIENTS = 4
+N_MERCHANTS = 3
+
+
+def checks_world():
+    realm = fresh_realm(b"c3-checks")
+    bank = realm.accounting_server("bank")
+    clients = []
+    for i in range(N_CLIENTS):
+        user = realm.user(f"client{i}")
+        bank.create_account(f"client{i}", user.principal, {"credits": 10**6})
+        clients.append(user)
+    merchants = []
+    for i in range(N_MERCHANTS):
+        user = realm.user(f"merchant{i}")
+        bank.create_account(f"merchant{i}", user.principal)
+        merchants.append(user)
+    return realm, bank, clients, merchants
+
+
+def amoeba_world():
+    realm = fresh_realm(b"c3-amoeba")
+    bank = AmoebaBank(realm.principal("amoeba-bank"), realm.network, realm.clock)
+    clients = []
+    for i in range(N_CLIENTS):
+        user = realm.user(f"client{i}")
+        bank.create_account(f"client{i}", user.principal, {"credits": 10**6})
+        clients.append(
+            AmoebaClient(
+                user.principal, realm.network, bank.principal, f"client{i}"
+            )
+        )
+    servers = []
+    for i in range(N_MERCHANTS):
+        owner = realm.user(f"merchant{i}")
+        server = AmoebaServer(
+            realm.principal(f"amoeba-srv{i}"), realm.network, realm.clock,
+            bank.principal, f"srv{i}", "credits", price=1,
+        )
+        bank.create_account(f"srv{i}", server.principal)
+        servers.append(server)
+    return realm, bank, clients, servers
+
+
+def workload():
+    return payment_workload(
+        N_PAYMENTS, N_CLIENTS, N_MERCHANTS, max_amount=10,
+        rng=Rng(seed=b"c3-workload"),
+    )
+
+
+def test_checks_payment_workload(benchmark):
+    realm, bank, clients, merchants = checks_world()
+    payments = workload()
+
+    def run():
+        for payment in payments:
+            payor = clients[payment.payor]
+            payee = merchants[payment.payee]
+            check = payor.accounting_client(bank.principal).write_check(
+                f"client{payment.payor}", payee.principal, "credits",
+                payment.amount,
+            )
+            payee.accounting_client(bank.principal).deposit_check(
+                check, f"merchant{payment.payee}"
+            )
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_amoeba_payment_workload(benchmark):
+    realm, bank, clients, servers = amoeba_world()
+    payments = workload()
+
+    def run():
+        for payment in payments:
+            client = clients[payment.payor]
+            server = servers[payment.payee]
+            # Prepay exactly the price, then consume it: the paper's
+            # "transfer funds into the server's account before it
+            # contacts the server".
+            client.prepay(server, "credits", payment.amount)
+            for _ in range(payment.amount):
+                client.use(server)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_c3_protocol_shape_report(benchmark):
+    rows = []
+
+    realm, bank, clients, merchants = checks_world()
+    payments = workload()
+    # Warm tickets first so the comparison is steady-state.
+    payor = clients[0]
+    payee = merchants[0]
+    check = payor.accounting_client(bank.principal).write_check(
+        "client0", payee.principal, "credits", 1
+    )
+    payee.accounting_client(bank.principal).deposit_check(check, "merchant0")
+    before = realm.network.metrics.snapshot()
+    for payment in payments:
+        p = clients[payment.payor]
+        m = merchants[payment.payee]
+        check = p.accounting_client(bank.principal).write_check(
+            f"client{payment.payor}", m.principal, "credits", payment.amount
+        )
+        m.accounting_client(bank.principal).deposit_check(
+            check, f"merchant{payment.payee}"
+        )
+    delta = realm.network.metrics.delta_since(before)
+    rows.append(
+        (
+            "restricted-proxy checks",
+            round(delta.messages / N_PAYMENTS, 1),
+            "0 (check travels with payee)",
+        )
+    )
+
+    realm, bank, clients, servers = amoeba_world()
+    before = realm.network.metrics.snapshot()
+    payor_msgs = 0
+    for payment in payments:
+        client = clients[payment.payor]
+        server = servers[payment.payee]
+        b = realm.network.metrics.snapshot()
+        client.prepay(server, "credits", payment.amount)
+        payor_msgs += realm.network.metrics.delta_since(b).messages
+        for _ in range(payment.amount):
+            client.use(server)
+    delta = realm.network.metrics.delta_since(before)
+    rows.append(
+        (
+            "amoeba prepay",
+            round(delta.messages / N_PAYMENTS, 1),
+            f"{round(payor_msgs / N_PAYMENTS, 1)} up-front per payment",
+        )
+    )
+    report(
+        "C3 / §5 vs Amoeba: messages per payment (Zipf workload, warm)",
+        rows, ("design", "total msgs/payment", "payor critical-path msgs"),
+    )
+    benchmark(lambda: None)
+
+
+def test_c3_multi_currency_report(benchmark):
+    """Both designs support multiple currencies; ours also mixes them in
+    one account and one check workload."""
+    realm = fresh_realm(b"c3-multi")
+    bank = realm.accounting_server("bank")
+    alice = realm.user("alice")
+    bob = realm.user("bob")
+    bank.create_account(
+        "alice", alice.principal,
+        {"dollars": 100, "pages": 40, "cpu-seconds": 1000},
+    )
+    bank.create_account("bob", bob.principal)
+    for currency, amount in (("dollars", 5), ("pages", 7), ("cpu-seconds", 90)):
+        check = alice.accounting_client(bank.principal).write_check(
+            "alice", bob.principal, currency, amount
+        )
+        bob.accounting_client(bank.principal).deposit_check(check, "bob")
+    balances = bob.accounting_client(bank.principal).balance("bob")
+    report(
+        "C3: multi-currency accounting (§4)",
+        sorted(balances.items()),
+        ("currency", "bob's balance after three checks"),
+    )
+    assert balances == {"dollars": 5, "pages": 7, "cpu-seconds": 90}
+    benchmark(lambda: None)

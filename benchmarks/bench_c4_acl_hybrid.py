@@ -1,0 +1,160 @@
+"""C4 — §3.5: ACLs and capabilities combined, compound principals.
+
+"The proxy model strikes a balance between access-control-list and
+capability-based mechanisms allowing each to be used where appropriate and
+allowing their use in combination."  We measure the authorization paths a
+single end-server serves simultaneously (direct ACL, capability, group
+entry, compound principal) and how matching scales with ACL size.
+"""
+
+import pytest
+
+from conftest import fresh_realm, report
+from repro.acl import (
+    AccessControlList,
+    AclEntry,
+    Compound,
+    GroupSubject,
+    SinglePrincipal,
+)
+from repro.core.restrictions import Authorized, AuthorizedEntry, Grantee
+from repro.encoding.identifiers import GroupId, PrincipalId
+from repro.kerberos.proxy_support import grant_via_credentials
+
+
+def test_acl_match_scaling(benchmark):
+    """Pure data-structure cost of a worst-case (last-entry) ACL match."""
+    acl = AccessControlList()
+    for i in range(512):
+        acl.add(
+            AclEntry(
+                subject=SinglePrincipal(PrincipalId(f"user{i}")),
+                operations=("read",),
+            )
+        )
+    target_principal = frozenset({PrincipalId("user511")})
+
+    def run():
+        return acl.match(target_principal, frozenset(), "read", "x")
+
+    assert benchmark(run) is not None
+
+
+@pytest.mark.parametrize("acl_size", [1, 64, 512])
+def test_end_to_end_with_acl_size(benchmark, acl_size):
+    realm = fresh_realm(b"c4-size-%d" % acl_size)
+    fs = realm.file_server("files")
+    fs.put("doc", b"data")
+    for i in range(acl_size - 1):
+        fs.acl.add(
+            AclEntry(
+                subject=SinglePrincipal(realm.principal(f"filler{i}")),
+                operations=("read",),
+            )
+        )
+    alice = realm.user("alice")
+    fs.grant_owner(alice.principal)  # last entry
+    client = alice.client_for(fs.principal)
+    client.establish_session()
+
+    def run():
+        return client.request("read", "doc")
+
+    assert benchmark(run)["data"] == b"data"
+
+
+def test_compound_principal_check(benchmark):
+    realm = fresh_realm(b"c4-compound")
+    fs = realm.file_server("vault")
+    fs.put("keys", b"k")
+    alice = realm.user("alice")
+    host = realm.user("host-1")
+    fs.acl.add(
+        AclEntry(
+            subject=Compound(
+                subjects=(
+                    SinglePrincipal(alice.principal),
+                    SinglePrincipal(host.principal),
+                )
+            ),
+            operations=("read",),
+        )
+    )
+    host_proxy = grant_via_credentials(
+        host.kerberos.get_ticket(fs.principal),
+        (Grantee(principals=(alice.principal,)),),
+        realm.clock.now(),
+    )
+    client = alice.client_for(fs.principal)
+    client.establish_session()
+
+    def run():
+        return client.request("read", "keys", proxy=host_proxy)
+
+    assert benchmark(run)["data"] == b"k"
+
+
+def test_c4_hybrid_matrix_report(benchmark):
+    """One server, four authorization styles, side by side."""
+    realm = fresh_realm(b"c4-matrix")
+    fs = realm.file_server("files")
+    fs.put("doc", b"data")
+    alice = realm.user("alice")
+    bob = realm.user("bob")
+    host = realm.user("host-1")
+    gs = realm.group_server("groups")
+    staff = gs.create_group("staff", (bob.principal,))
+
+    fs.grant_owner(alice.principal)
+    fs.acl.add(AclEntry(subject=GroupSubject(staff), operations=("read",)))
+    fs.acl.add(
+        AclEntry(
+            subject=Compound(
+                subjects=(
+                    SinglePrincipal(bob.principal),
+                    SinglePrincipal(host.principal),
+                )
+            ),
+            operations=("delete",),
+        )
+    )
+
+    rows = []
+    # 1. direct ACL
+    out = alice.client_for(fs.principal).request("read", "doc")
+    rows.append(("direct ACL entry", "alice", "read", "ok"))
+    # 2. capability issued by alice
+    cap = grant_via_credentials(
+        alice.kerberos.get_ticket(fs.principal),
+        (Authorized(entries=(AuthorizedEntry("doc", ("read",)),)),),
+        realm.clock.now(),
+    )
+    bob.client_for(fs.principal).request(
+        "read", "doc", proxy=cap, anonymous=True
+    )
+    rows.append(("capability (bearer proxy)", "anyone holding it", "read", "ok"))
+    # 3. group entry
+    gid, gproxy = bob.group_client(gs.principal).get_group_proxy(
+        "staff", fs.principal
+    )
+    bob.client_for(fs.principal).request(
+        "read", "doc", group_proxies=[(gid, gproxy)]
+    )
+    rows.append(("group ACL entry + group proxy", "staff members", "read", "ok"))
+    # 4. compound principal (bob AND host-1)
+    host_proxy = grant_via_credentials(
+        host.kerberos.get_ticket(fs.principal),
+        (Grantee(principals=(bob.principal,)),),
+        realm.clock.now(),
+    )
+    bob.client_for(fs.principal).request(
+        "delete", "doc", proxy=host_proxy
+    )
+    rows.append(
+        ("compound principal (user AND host)", "bob on host-1", "delete", "ok")
+    )
+    report(
+        "C4 / §3.5: one ACL, four authorization styles",
+        rows, ("style", "who", "operation", "outcome"),
+    )
+    benchmark(lambda: None)

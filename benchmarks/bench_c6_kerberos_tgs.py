@@ -1,0 +1,169 @@
+"""C6 — §6.3: the TGS proxy makes conventional proxies multi-server.
+
+"A disadvantage of using conventional cryptography to implement proxies is
+that each proxy can be used at only a particular end-server.  This is
+offset by implementing proxies within Kerberos itself since it is possible
+to issue a proxy for the Kerberos ticket-granting service.  Such a proxy
+allows the grantee to obtain proxies with identical restrictions for
+additional end-servers as needed."
+
+We fan a delegation out to K end-servers two ways and compare who does the
+work:
+
+* **per-server grants** — the grantor must be online and grant K times;
+* **TGS proxy** — the grantor grants once; the grantee redeems at the TGS
+  per server, without the grantor.
+"""
+
+import pytest
+
+from conftest import fresh_realm, report
+from repro.core.restrictions import Authorized, AuthorizedEntry
+from repro.kerberos.proxy_support import grant_via_credentials
+from repro.kerberos.session import make_ap_request
+from repro.kerberos.ticket import Credentials
+
+FAN_OUTS = [1, 4, 8]
+RESTRICTIONS = (Authorized(entries=(AuthorizedEntry("doc", ("read",)),)),)
+
+
+def build_world(k):
+    realm = fresh_realm(b"c6-%d" % k)
+    alice = realm.user("alice")
+    bob = realm.user("bob")
+    servers = [realm.file_server(f"srv{i}") for i in range(k)]
+    for fs in servers:
+        fs.grant_owner(alice.principal)
+        fs.put("doc", b"data")
+    return realm, alice, bob, servers
+
+
+def tgt_credentials(alice):
+    tgt = alice.kerberos.login()
+    return tgt, Credentials(
+        ticket=tgt.ticket,
+        session_key=tgt.session_key,
+        client=alice.principal,
+        expires_at=tgt.expires_at,
+    )
+
+
+@pytest.mark.parametrize("k", FAN_OUTS)
+def test_per_server_grants(benchmark, k):
+    realm, alice, bob, servers = build_world(k)
+
+    def run():
+        bundles = []
+        for fs in servers:
+            creds = alice.kerberos.get_ticket(fs.principal)
+            bundles.append(
+                grant_via_credentials(creds, RESTRICTIONS, realm.clock.now())
+            )
+        return bundles
+
+    assert len(benchmark(run)) == k
+
+
+@pytest.mark.parametrize("k", FAN_OUTS)
+def test_tgs_proxy_fanout(benchmark, k):
+    realm, alice, bob, servers = build_world(k)
+    tgt, creds = tgt_credentials(alice)
+    tgs_proxy = grant_via_credentials(creds, RESTRICTIONS, realm.clock.now())
+    bob.kerberos.login()
+
+    def run():
+        out = []
+        for fs in servers:
+            out.append(
+                bob.kerberos.redeem_tgs_proxy(
+                    tgt.ticket, tgs_proxy.proxy, fs.principal
+                )
+            )
+        return out
+
+    results = benchmark(run)
+    assert all(c.client == alice.principal for c in results)
+
+
+def test_c6_grantor_burden_report(benchmark):
+    """Messages the *grantor* must send, by fan-out: the §6.3 point."""
+    rows = []
+    for k in FAN_OUTS:
+        # Per-server: grantor fetches K tickets (warm TGT) and grants K
+        # proxies locally; measure grantor-sourced messages.
+        realm, alice, bob, servers = build_world(k)
+        alice.kerberos.login()
+        before = realm.network.metrics.snapshot()
+        for fs in servers:
+            creds = alice.kerberos.get_ticket(fs.principal)
+            grant_via_credentials(creds, RESTRICTIONS, realm.clock.now())
+        per_server = realm.network.metrics.delta_since(before)
+        grantor_msgs_direct = sum(
+            count
+            for (src, _), count in per_server.by_pair.items()
+            if src == str(alice.principal)
+        )
+
+        # TGS proxy: grantor grants once (offline after login); grantee
+        # redeems K times.
+        realm, alice, bob, servers = build_world(k)
+        tgt, creds = tgt_credentials(alice)
+        before = realm.network.metrics.snapshot()
+        tgs_proxy = grant_via_credentials(
+            creds, RESTRICTIONS, realm.clock.now()
+        )
+        delta = realm.network.metrics.delta_since(before)
+        grantor_msgs_tgs = sum(
+            count
+            for (src, _), count in delta.by_pair.items()
+            if src == str(alice.principal)
+        )
+        bob.kerberos.login()
+        before = realm.network.metrics.snapshot()
+        for fs in servers:
+            bob.kerberos.redeem_tgs_proxy(
+                tgt.ticket, tgs_proxy.proxy, fs.principal
+            )
+        grantee_msgs = realm.network.metrics.delta_since(before).messages
+        rows.append(
+            (k, grantor_msgs_direct, grantor_msgs_tgs, grantee_msgs)
+        )
+    report(
+        "C6 / §6.3: grantor burden for K-server fan-out (messages sent)",
+        rows,
+        ("K", "per-server grants: grantor msgs", "TGS proxy: grantor msgs",
+         "TGS proxy: grantee msgs"),
+    )
+    # The grantor's cost is constant (0 after login) with the TGS proxy and
+    # grows with K otherwise.
+    assert rows[-1][1] > rows[0][2]
+    assert all(row[2] == 0 for row in rows)
+    benchmark(lambda: None)
+
+
+def test_c6_identical_restrictions_report(benchmark):
+    """'Proxies with identical restrictions for additional end-servers.'"""
+    realm, alice, bob, servers = build_world(3)
+    tgt, creds = tgt_credentials(alice)
+    tgs_proxy = grant_via_credentials(creds, RESTRICTIONS, realm.clock.now())
+    bob.kerberos.login()
+    rows = []
+    for fs in servers:
+        redeemed = bob.kerberos.redeem_tgs_proxy(
+            tgt.ticket, tgs_proxy.proxy, fs.principal
+        )
+        types = sorted(
+            r.to_wire()["type"] for r in redeemed.authorization_data
+        )
+        session = fs.ap.accept(
+            make_ap_request(redeemed, realm.clock, presenter=bob.principal)
+        )
+        rows.append(
+            (fs.principal.name, ",".join(types), str(session.client))
+        )
+    report(
+        "C6: restrictions carried to each end-server",
+        rows, ("end-server", "authorization-data", "rights of"),
+    )
+    assert all("authorized" in row[1] and "grantee" in row[1] for row in rows)
+    benchmark(lambda: None)

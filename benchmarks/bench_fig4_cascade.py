@@ -1,0 +1,154 @@
+"""F4 — Figure 4 and the §3.4 claim: cascaded proxies vs Sollins.
+
+"A similar mechanism is supported **more efficiently** by restricted
+proxies ... in Sollins's approach the end-server has to contact the
+authentication server to verify the authenticity of a chain of proxies."
+
+Sweep chain length 1–16 and measure, for both designs:
+
+* messages to the authentication server per verification (proxies: 0,
+  Sollins: 1 round-trip — the crossover the paper claims);
+* end-to-end verification latency (simulated network time + compute).
+"""
+
+import pytest
+
+from conftest import fresh_realm, report
+from repro.baselines import (
+    SollinsAuthServer,
+    SollinsEndServer,
+    create_passport,
+    extend_passport,
+)
+from repro.clock import SimulatedClock
+from repro.core.evaluation import RequestContext
+from repro.core.presentation import present
+from repro.core.proxy import cascade, grant_conventional
+from repro.core.restrictions import Quota
+from repro.core.verification import ProxyVerifier, SharedKeyCrypto
+from repro.crypto.keys import SymmetricKey
+from repro.crypto.rng import Rng
+from repro.encoding.identifiers import PrincipalId
+from repro.net.network import Network
+
+START = 1_000_000.0
+ALICE = PrincipalId("alice")
+SERVER = PrincipalId("server")
+CHAIN_LENGTHS = [1, 2, 4, 8, 16]
+
+
+def build_proxy_chain(length):
+    rng = Rng(seed=b"f4-proxy")
+    shared = SymmetricKey.generate(rng=rng)
+    clock = SimulatedClock(START)
+    verifier = ProxyVerifier(
+        server=SERVER, crypto=SharedKeyCrypto({ALICE: shared}), clock=clock
+    )
+    proxy = grant_conventional(ALICE, shared, (), START, START + 3600, rng)
+    for i in range(length - 1):
+        proxy = cascade(
+            proxy, (Quota(currency=f"hop{i}", limit=100),),
+            START, START + 3600, rng,
+        )
+    return clock, verifier, proxy
+
+
+def build_sollins_chain(length):
+    rng = Rng(seed=b"f4-sollins")
+    clock = SimulatedClock(START)
+    network = Network(clock, rng=rng)
+    auth = SollinsAuthServer(PrincipalId("auth"), network, clock)
+    end = SollinsEndServer(SERVER, network, clock, auth.principal)
+    end.register_operation("read", lambda originator, payload: {"ok": True})
+    principals = [ALICE] + [PrincipalId(f"hop{i}") for i in range(length - 1)]
+    keys = [auth.register(p) for p in principals]
+    passport = create_passport(principals[0], keys[0], ())
+    for i in range(1, length):
+        passport = extend_passport(
+            passport, principals[i], keys[i],
+            (Quota(currency=f"hop{i}", limit=100),),
+        )
+    return clock, network, auth, end, passport, principals[-1]
+
+
+@pytest.mark.parametrize("length", CHAIN_LENGTHS)
+def test_proxy_chain_verification(benchmark, length):
+    clock, verifier, proxy = build_proxy_chain(length)
+    context = RequestContext(server=SERVER, operation="read")
+
+    def run():
+        presented = present(proxy, SERVER, clock.now(), "read")
+        return verifier.verify(presented, context)
+
+    result = benchmark(run)
+    assert result.chain_length == length
+
+
+@pytest.mark.parametrize("length", CHAIN_LENGTHS)
+def test_sollins_chain_verification(benchmark, length):
+    clock, network, auth, end, passport, presenter = build_sollins_chain(
+        length
+    )
+
+    def run():
+        return network.send(
+            presenter, SERVER, "request",
+            {"passport": passport.to_wire(), "operation": "read"},
+        )
+
+    result = benchmark(run)
+    assert result.get("ok")
+
+
+def test_fig4_comparison_report(benchmark):
+    """The paper's claim as a table: online contacts and wire cost."""
+    rows = []
+    for length in CHAIN_LENGTHS:
+        # Restricted proxies: verification is entirely local.
+        clock, verifier, proxy = build_proxy_chain(length)
+        presented = present(proxy, SERVER, clock.now(), "read")
+        verifier.verify(
+            presented, RequestContext(server=SERVER, operation="read")
+        )
+        proxy_auth_contacts = 0  # no network exists in the local path at all
+
+        # Sollins: count messages to the auth server per request.
+        clock, network, auth, end, passport, presenter = (
+            build_sollins_chain(length)
+        )
+        before = network.metrics.snapshot()
+        network.send(
+            presenter, SERVER, "request",
+            {"passport": passport.to_wire(), "operation": "read"},
+        )
+        delta = network.metrics.delta_since(before)
+        rows.append(
+            (
+                length,
+                proxy_auth_contacts,
+                delta.messages_to(auth.principal),
+                len(
+                    b"".join(c.to_bytes() for c in proxy.certificates)
+                ),
+            )
+        )
+    report(
+        "F4 / Fig.4 + §3.4: offline proxy chains vs Sollins online verification",
+        rows,
+        ("chain length", "proxy: auth-server msgs", "sollins: auth-server msgs",
+         "proxy chain bytes"),
+    )
+    assert all(row[1] == 0 and row[2] == 1 for row in rows)
+    benchmark(lambda: None)
+
+
+def test_fig4_chain_structure(benchmark):
+    """Print the Fig. 4 chain for length 3, in the paper's notation."""
+    from repro.core.chain import describe
+
+    _, _, proxy = build_proxy_chain(3)
+    print("\n--- F4 / Fig.4: cascaded proxies (as verified) ---")
+    for line in describe(proxy.certificates).splitlines():
+        print("  " + line)
+    print("  Proxy-key: Kproxy3 (held by the final subordinate only)")
+    benchmark(lambda: None)

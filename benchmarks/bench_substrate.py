@@ -1,0 +1,128 @@
+"""Substrate microbenchmarks (ablation support).
+
+Not a paper figure — these isolate the building blocks so the figure-level
+numbers can be decomposed: canonical encoding, authenticated sealing, the
+three signature schemes, replay registries at size, and ticket handling.
+Useful when judging which layer dominates a protocol-level cost.
+"""
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.core.replay import AcceptOnceRegistry, AuthenticatorCache
+from repro.crypto import mac, rsa, schnorr, symmetric
+from repro.crypto.dh import TEST_GROUP
+from repro.crypto.keys import KeyPair, SymmetricKey
+from repro.crypto.rng import Rng
+from repro.encoding.canonical import decode, encode
+from repro.encoding.identifiers import PrincipalId
+from repro.kerberos.ticket import Ticket, TicketBody
+
+RNG = Rng(seed=b"substrate")
+KEY = symmetric.new_key(RNG)
+SCHNORR = schnorr.generate_keypair(TEST_GROUP, rng=RNG)
+RSA = rsa.generate_keypair(bits=1024, rng=Rng(seed=b"substrate-rsa"))
+
+SAMPLE_VALUE = {
+    "grantor": "alice@REPRO.ORG",
+    "restrictions": [
+        {"type": "authorized", "entries": [{"target": "doc/*", "operations": ["read"]}]},
+        {"type": "quota", "currency": "pages", "limit": 10},
+    ],
+    "issued_at": 1_000_000.0,
+    "expires_at": 1_003_600.0,
+    "nonce": b"n" * 16,
+}
+SAMPLE_BYTES = encode(SAMPLE_VALUE)
+PLAINTEXT = b"p" * 512
+
+
+def test_canonical_encode(benchmark):
+    benchmark(encode, SAMPLE_VALUE)
+
+
+def test_canonical_decode(benchmark):
+    benchmark(decode, SAMPLE_BYTES)
+
+
+def test_seal(benchmark):
+    benchmark(symmetric.seal, KEY, PLAINTEXT)
+
+
+def test_unseal(benchmark):
+    box = symmetric.seal(KEY, PLAINTEXT)
+    benchmark(symmetric.unseal, KEY, box)
+
+
+def test_hmac_sign(benchmark):
+    benchmark(mac.tag, KEY, SAMPLE_BYTES)
+
+
+def test_schnorr_sign(benchmark):
+    benchmark(schnorr.sign, SCHNORR, SAMPLE_BYTES, RNG)
+
+
+def test_schnorr_verify(benchmark):
+    sig = schnorr.sign(SCHNORR, SAMPLE_BYTES, rng=RNG)
+    benchmark(schnorr.verify, SCHNORR.public, SAMPLE_BYTES, sig)
+
+
+def test_schnorr_keygen(benchmark):
+    """The per-proxy cost that made Schnorr the public-key default."""
+    benchmark(schnorr.generate_keypair, TEST_GROUP, RNG)
+
+
+def test_rsa_sign(benchmark):
+    benchmark(rsa.sign, RSA, SAMPLE_BYTES)
+
+
+def test_rsa_verify(benchmark):
+    sig = rsa.sign(RSA, SAMPLE_BYTES)
+    benchmark(rsa.verify, RSA.public, SAMPLE_BYTES, sig)
+
+
+def test_ticket_seal_open(benchmark):
+    server_key = SymmetricKey.generate(rng=RNG)
+    body = TicketBody(
+        client=PrincipalId("alice"),
+        server=PrincipalId("server"),
+        session_key=SymmetricKey.generate(rng=RNG),
+        auth_time=0.0,
+        expires_at=3600.0,
+    )
+
+    def run():
+        return Ticket.seal(body, server_key, rng=RNG).open(server_key)
+
+    assert benchmark(run).client == PrincipalId("alice")
+
+
+@pytest.mark.parametrize("live_entries", [100, 10_000])
+def test_accept_once_register(benchmark, live_entries):
+    clock = SimulatedClock(0.0)
+    registry = AcceptOnceRegistry(clock)
+    grantor = PrincipalId("g")
+    for i in range(live_entries):
+        registry.register(grantor, f"seed-{i}", 1e12)
+    counter = [live_entries]
+
+    def run():
+        counter[0] += 1
+        return registry.register(grantor, f"id-{counter[0]}", 1e12)
+
+    assert benchmark(run)
+
+
+@pytest.mark.parametrize("live_entries", [100, 10_000])
+def test_authenticator_cache_register(benchmark, live_entries):
+    clock = SimulatedClock(0.0)
+    cache = AuthenticatorCache(clock, window=1e12)
+    for i in range(live_entries):
+        cache.register(b"seed-%d" % i)
+    counter = [live_entries]
+
+    def run():
+        counter[0] += 1
+        return cache.register(b"id-%d" % counter[0])
+
+    assert benchmark(run)

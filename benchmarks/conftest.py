@@ -1,0 +1,50 @@
+"""Shared benchmark scaffolding.
+
+Every benchmark builds its own :class:`~repro.testbed.Realm` (seeded, so
+runs are reproducible) and reports two kinds of results:
+
+* **timing** via pytest-benchmark (the ``benchmark`` fixture);
+* **protocol shape** — message counts from the network meter — printed as
+  small tables through :func:`report`, because the paper's claims are about
+  who talks to whom, not nanoseconds.
+
+``EXPERIMENTS.md`` collects the printed tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testbed import Realm
+
+_REPORTED = []
+
+
+def report(title: str, rows, columns) -> None:
+    """Print one experiment table (also collected for the session summary)."""
+    widths = [
+        max(len(str(column)), *(len(str(row[i])) for row in rows)) if rows else len(str(column))
+        for i, column in enumerate(columns)
+    ]
+    lines = [
+        "",
+        f"--- {title} ---",
+        "  " + " | ".join(str(c).ljust(w) for c, w in zip(columns, widths)),
+        "  " + "-+-".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append(
+            "  " + " | ".join(str(v).ljust(w) for v, w in zip(row, widths))
+        )
+    text = "\n".join(lines)
+    _REPORTED.append(text)
+    print(text)
+
+
+@pytest.fixture
+def realm():
+    return Realm(seed=b"bench-realm")
+
+
+def fresh_realm(tag: bytes) -> Realm:
+    return Realm(seed=b"bench-" + tag)

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Authorization and group servers (§3.2–§3.3, Fig. 3).
+
+An organization centralizes policy: end-servers put the authorization
+server R and a group on their ACLs, and clients fetch proxies that assert
+their rights.  Includes Fig. 3's message 0 (name-server lookup of what
+credentials an end-server wants) and revocation by database change.
+
+Run:  python examples/authorization_and_groups.py
+"""
+
+from repro import Realm
+from repro.acl import AclEntry, GroupSubject, SinglePrincipal
+from repro.errors import ReproError
+from repro.services.nameserver import lookup
+
+
+def main() -> None:
+    realm = Realm(seed=b"authz-example")
+    bob = realm.user("bob")
+
+    fs = realm.file_server("projects")
+    fs.put("specs/design.md", b"# design\n...")
+
+    authz = realm.authorization_server("authz")
+    groups = realm.group_server("groups")
+    ns = realm.name_server("directory")
+
+    # The end-server delegates its authorization decisions (§3.5): its own
+    # ACL names only the authorization server and one group.
+    staff = groups.create_group("staff", (bob.principal,))
+    fs.acl.add(AclEntry(subject=SinglePrincipal(authz.principal)))
+    fs.acl.add(AclEntry(subject=GroupSubject(staff), operations=("list",)))
+    ns.publish(
+        fs.principal,
+        authorization_server=authz.principal,
+        group_servers=[groups.principal],
+    )
+
+    # The authorization server's database for this end-server.
+    authz.database_for(fs.principal).add(
+        AclEntry(
+            subject=SinglePrincipal(bob.principal),
+            operations=("read",),
+            targets=("specs/*",),
+        )
+    )
+
+    # Fig. 3, message 0: what does this server want?
+    record = lookup(realm.network, bob.principal, ns.principal, fs.principal)
+    print(
+        f"message 0: {fs.principal.name} honours authorization server "
+        f"{record['authorization_server']} and groups from "
+        f"{record['group_servers']}"
+    )
+
+    # Fig. 3, messages 1-2: authenticated request, proxy comes back with
+    # the proxy key sealed under the session key.
+    before = realm.network.metrics.snapshot()
+    proxy = bob.authorization_client(authz.principal).authorize(
+        fs.principal, ("read",), ("specs/*",)
+    )
+    delta = realm.network.metrics.delta_since(before)
+    print(
+        f"messages 1-2: authorization proxy issued by "
+        f"{proxy.grantor.name} ({delta.messages} messages incl. KDC)"
+    )
+
+    # Message 3: present to the end-server.
+    data = bob.client_for(fs.principal).request(
+        "read", "specs/design.md", proxy=proxy
+    )["data"]
+    print(f"message 3: read via proxy -> {data!r}")
+
+    # Group path: bob asserts staff membership to use the group ACL entry.
+    gid, gproxy = bob.group_client(groups.principal).get_group_proxy(
+        "staff", fs.principal
+    )
+    listing = bob.client_for(fs.principal).request(
+        "list", "specs/", group_proxies=[(gid, gproxy)]
+    )["paths"]
+    print(f"group proxy asserts {gid} -> list: {listing}")
+
+    # Revocation is a database change at the authorization server: the
+    # next proxy request fails; outstanding proxies die at expiry.
+    authz.database_for(fs.principal).remove_subject(
+        SinglePrincipal(bob.principal)
+    )
+    try:
+        bob.authorization_client(authz.principal).authorize(
+            fs.principal, ("read",), ("specs/*",)
+        )
+    except ReproError as exc:
+        print(f"after revocation, a new proxy is refused: {exc}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Electronic commerce across organizations (§1 + §4 + cross-realm Kerberos).
+
+Two companies, two realms, two banks.  A buyer in ACME.ORG purchases from a
+merchant in SHOP.ORG: cross-realm authentication gets the buyer a session
+with the foreign shop, a certified check guarantees payment, the shop
+verifies the certification offline, and the check clears across banks in
+different realms.
+
+Run:  python examples/cross_realm_commerce.py
+"""
+
+from repro.core.evaluation import RequestContext
+from repro.testbed import federation
+
+
+def main() -> None:
+    realms = federation(["ACME.ORG", "SHOP.ORG"], seed=b"commerce-x")
+    acme, shopco = realms["ACME.ORG"], realms["SHOP.ORG"]
+
+    buyer = acme.user("buyer")
+    merchant = shopco.user("merchant")
+    bank_acme = acme.accounting_server("acme-bank")
+    bank_shop = shopco.accounting_server("shop-bank")
+    bank_acme.create_account("buyer", buyer.principal, {"dollars": 500})
+    bank_shop.create_account("merchant", merchant.principal)
+
+    store = shopco.file_server("storefront")
+    store.grant_owner(merchant.principal)
+    store.put("catalog/widget", b"deluxe widget, $120")
+
+    # 1. Cross-realm authentication: ACME buyer talks to the SHOP store.
+    print("1. buyer@ACME browses merchant's store in SHOP.ORG")
+    # Merchant lets anyone browse the catalog:
+    from repro.acl import AclEntry, Anyone
+
+    store.acl.add(
+        AclEntry(subject=Anyone(), operations=("read",), targets=("catalog/*",))
+    )
+    listing = buyer.client_for(store.principal).request(
+        "read", "catalog/widget"
+    )["data"]
+    print(f"   catalog says: {listing.decode()}")
+    print(f"   (buyer authenticated via cross-realm TGT: "
+          f"krbtgt.SHOP.ORG@ACME.ORG)")
+
+    # 2. Payment: certified check drawn on the ACME bank.
+    print("\n2. buyer draws and certifies a check for 120 dollars")
+    buyer_bank = buyer.accounting_client(bank_acme.principal)
+    check = buyer_bank.write_check(
+        "buyer", merchant.principal, "dollars", 120
+    )
+    certification = buyer_bank.certify_check(check, store.principal)
+    print(f"   hold placed; buyer balance now "
+          f"{buyer_bank.balance('buyer')['dollars']}")
+
+    # 3. The shop verifies the certification offline before shipping.
+    wire = certification.presentation(
+        store.principal, shopco.clock.now(),
+        "verify-certification", target=f"check:{check.number}",
+    )
+    verified = store.acceptor.accept(
+        wire,
+        RequestContext(
+            server=store.principal,
+            operation="verify-certification",
+            target=f"check:{check.number}",
+        ),
+    )
+    print(f"\n3. store verified certification signed by {verified.grantor}")
+    print("   -> ships the widget")
+
+    # 4. The merchant deposits; the check clears across realms and banks.
+    result = merchant.accounting_client(bank_shop.principal).deposit_check(
+        check, "merchant"
+    )
+    print(f"\n4. check cleared cross-realm: paid {result['paid']} dollars")
+    print(f"   merchant balance: "
+          f"{merchant.accounting_client(bank_shop.principal).balance('merchant')}")
+    print(f"   buyer balance:    {buyer_bank.balance('buyer')}")
+
+    snap = acme.network.metrics.snapshot()
+    print(f"\nnetwork totals: {snap.messages} messages across both realms; "
+          f"no global authority was involved — only the pairwise "
+          f"KDC federation")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Distributed accounting: checks, endorsements, and certified checks (§4).
+
+Recreates Figure 5 with two accounting servers: a client on bank-2 pays a
+merchant on bank-1 by check; the merchant deposits with its own bank, which
+endorses and collects from the payor's bank.  Then the certified-check flow:
+a hold at the payor's bank plus an authorization proxy the merchant's shop
+can verify before delivering goods.
+
+Run:  python examples/distributed_accounting.py
+"""
+
+from repro import Realm
+from repro.errors import ReproError
+from repro.services.accounting import SETTLEMENT_PREFIX
+
+
+def show_books(label, *banks):
+    print(f"\n  [{label}]")
+    for bank in banks:
+        holdings = {
+            name: dict(account.balances)
+            for name, account in sorted(bank.accounts.items())
+            if account.balances or account.holds
+        }
+        holds = {
+            name: {h.check_number: h.amount for h in account.holds.values()}
+            for name, account in sorted(bank.accounts.items())
+            if account.holds
+        }
+        print(f"    {bank.principal.name}: balances={holdings} holds={holds}")
+
+
+def main() -> None:
+    realm = Realm(seed=b"accounting-example")
+    client = realm.user("client")
+    merchant = realm.user("merchant")
+
+    bank1 = realm.accounting_server("bank-1")   # the merchant's ($1)
+    bank2 = realm.accounting_server("bank-2")   # the client's  ($2)
+    bank2.create_account("client", client.principal, {"dollars": 100})
+    bank1.create_account("merchant", merchant.principal)
+
+    client_bank = client.accounting_client(bank2.principal)
+    merchant_bank = merchant.accounting_client(bank1.principal)
+
+    # ---------------------------------------------------------------- Fig. 5
+    print("== Figure 5: processing a check ==")
+    check = client_bank.write_check(
+        "client", merchant.principal, "dollars", 40
+    )
+    print(
+        f"  1. C draws check #{check.number[:8]} for {check.amount} "
+        f"{check.currency}, payable to S, drawn on {check.drawn_on.name}"
+    )
+    show_books("before deposit", bank1, bank2)
+
+    before = realm.network.metrics.snapshot()
+    result = merchant_bank.deposit_check(check, "merchant")
+    delta = realm.network.metrics.delta_since(before)
+    print(
+        f"  E1/E2. S endorses to $1; $1 endorses+collects from $2 -> "
+        f"paid {result['paid']} ({delta.messages} messages end to end)"
+    )
+    show_books("after clearing", bank1, bank2)
+    settlement = bank2.accounts[f"{SETTLEMENT_PREFIX}bank-1"]
+    print(
+        f"  interbank: $2 owes $1 {settlement.balance('dollars')} dollars "
+        f"(settlement account)"
+    )
+
+    # The same check again: rejected by the accept-once machinery (§7.7).
+    try:
+        merchant_bank.deposit_check(check, "merchant")
+    except ReproError as exc:
+        print(f"  depositing the same check again -> {exc}")
+
+    # ------------------------------------------------------- certified check
+    print("\n== Certified check (quota-style guarantee) ==")
+    shop = realm.file_server("shop")
+    shop.grant_owner(merchant.principal)
+
+    check2 = client_bank.write_check(
+        "client", merchant.principal, "dollars", 25
+    )
+    certification = client_bank.certify_check(check2, shop.principal)
+    print(
+        f"  $2 places a hold of {check2.amount} and issues an "
+        f"authorization proxy signed by {certification.grantor.name}"
+    )
+    show_books("after certification (hold visible)", bank1, bank2)
+
+    # The shop verifies the certification offline before shipping.
+    from repro.core.evaluation import RequestContext
+
+    wire = certification.presentation(
+        shop.principal, realm.clock.now(),
+        "verify-certification", target=f"check:{check2.number}",
+    )
+    verified = shop.acceptor.accept(
+        wire,
+        RequestContext(
+            server=shop.principal,
+            operation="verify-certification",
+            target=f"check:{check2.number}",
+        ),
+    )
+    print(f"  shop verified certification from {verified.grantor} -> ships")
+
+    result = merchant_bank.deposit_check(check2, "merchant")
+    print(f"  check clears from the hold: paid {result['paid']}")
+    show_books("final", bank1, bank2)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Configuration lives in pyproject.toml; this file exists so the package can
+be installed editable (``pip install -e .``) in offline environments whose
+pip/setuptools cannot build PEP 660 editable wheels (no ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,43 @@
+"""repro — restricted proxies for distributed authorization and accounting.
+
+A full reproduction of B. Clifford Neuman, *Proxy-Based Authorization and
+Accounting for Distributed Systems*, ICDCS 1993.
+
+Layering (the paper's Fig. 2)::
+
+    authorization / accounting / group services     repro.services
+    ------------------------------------------     ---------------
+    restricted proxies                              repro.core
+    ------------------------------------------     ---------------
+    authentication (Kerberos V5 / public-key)       repro.kerberos, repro.crypto
+    ------------------------------------------     ---------------
+    network                                         repro.net
+
+Quick start::
+
+    from repro.testbed import Realm
+    realm = Realm()
+    alice, bob = realm.user("alice"), realm.user("bob")
+    fs = realm.file_server("files")
+    fs.grant_owner(alice.principal)
+"""
+
+from repro.clock import NEVER, Clock, SimulatedClock, SystemClock
+from repro.encoding.identifiers import AccountId, GroupId, PrincipalId
+from repro.testbed import Realm, User, federation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Realm",
+    "User",
+    "federation",
+    "PrincipalId",
+    "GroupId",
+    "AccountId",
+    "Clock",
+    "SimulatedClock",
+    "SystemClock",
+    "NEVER",
+    "__version__",
+]

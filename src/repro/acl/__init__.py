@@ -1,0 +1,22 @@
+"""Access-control lists with compound principals and entry restrictions (§3.5)."""
+
+from repro.acl.acl import AccessControlList, AclEntry
+from repro.acl.compound import (
+    Anyone,
+    Compound,
+    GroupSubject,
+    SinglePrincipal,
+    Subject,
+    subject_from_wire,
+)
+
+__all__ = [
+    "AccessControlList",
+    "AclEntry",
+    "Subject",
+    "SinglePrincipal",
+    "GroupSubject",
+    "Anyone",
+    "Compound",
+    "subject_from_wire",
+]

@@ -1,0 +1,188 @@
+"""Subjects of ACL entries, including compound principals (§3.5).
+
+"By supporting compound principal identifiers in access-control-list
+entries, it becomes possible to require the concurrence of multiple
+principals for certain operations ... the need for both user and host
+credentials ... as well as the separation of privilege so that a single
+user can't act alone."
+
+A :class:`Subject` is matched against the set of principals that concur in a
+request (the authenticated claimant plus the grantors of any supporting
+proxies) and the set of groups asserted via group proxies:
+
+* :class:`SinglePrincipal` — one named principal.
+* :class:`GroupSubject` — membership in a (globally named) group, §3.3.
+* :class:`Anyone` — matches everything; used for public operations and for
+  the capability pattern where the *proxy chain*, not the ACL, carries the
+  policy.
+* :class:`Compound` — k-of-n over nested subjects (conjunction when
+  ``required`` equals the subject count).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple
+
+from repro.encoding.canonical import encode
+from repro.encoding.identifiers import GroupId, PrincipalId
+from repro.errors import DecodingError
+
+
+class Subject(ABC):
+    """Who (or what combination) an ACL entry names."""
+
+    KIND: str = ""
+
+    @abstractmethod
+    def matches(
+        self,
+        principals: FrozenSet[PrincipalId],
+        groups: FrozenSet[GroupId],
+    ) -> bool:
+        """True when the concurring principals/groups satisfy this subject."""
+
+    @abstractmethod
+    def to_wire(self) -> dict:
+        """Serialize, including the ``kind`` discriminator."""
+
+    @classmethod
+    @abstractmethod
+    def from_wire(cls, wire: dict) -> "Subject":
+        """Reconstruct (``kind`` already dispatched)."""
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Subject) and self.to_wire() == other.to_wire()
+
+    def __hash__(self) -> int:
+        return hash(encode(self.to_wire()))
+
+
+@dataclass(frozen=True, eq=False)
+class SinglePrincipal(Subject):
+    KIND = "principal"
+
+    principal: PrincipalId
+
+    def matches(
+        self,
+        principals: FrozenSet[PrincipalId],
+        groups: FrozenSet[GroupId],
+    ) -> bool:
+        return self.principal in principals
+
+    def to_wire(self) -> dict:
+        return {"kind": self.KIND, "principal": self.principal.to_wire()}
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "SinglePrincipal":
+        return cls(principal=PrincipalId.from_wire(wire["principal"]))
+
+
+@dataclass(frozen=True, eq=False)
+class GroupSubject(Subject):
+    """Matches when membership in the group has been asserted (§3.3).
+
+    "It should be possible for the name of a group to appear in
+    authorization databases anywhere that the name of any other principal
+    might appear."
+    """
+
+    KIND = "group"
+
+    group: GroupId
+
+    def matches(
+        self,
+        principals: FrozenSet[PrincipalId],
+        groups: FrozenSet[GroupId],
+    ) -> bool:
+        return self.group in groups
+
+    def to_wire(self) -> dict:
+        return {"kind": self.KIND, "group": self.group.to_wire()}
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "GroupSubject":
+        return cls(group=GroupId.from_wire(wire["group"]))
+
+
+@dataclass(frozen=True, eq=False)
+class Anyone(Subject):
+    KIND = "anyone"
+
+    def matches(
+        self,
+        principals: FrozenSet[PrincipalId],
+        groups: FrozenSet[GroupId],
+    ) -> bool:
+        return True
+
+    def to_wire(self) -> dict:
+        return {"kind": self.KIND}
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "Anyone":
+        return cls()
+
+
+@dataclass(frozen=True, eq=False)
+class Compound(Subject):
+    """k-of-n over nested subjects (§3.5 compound principal identifiers)."""
+
+    KIND = "compound"
+
+    subjects: Tuple[Subject, ...]
+    required: int = 0  # 0 means "all of them"
+
+    def __post_init__(self) -> None:
+        if not self.subjects:
+            raise ValueError("compound subject needs >= 1 nested subject")
+        need = self.required or len(self.subjects)
+        if not 1 <= need <= len(self.subjects):
+            raise ValueError(
+                f"required must be in [1, {len(self.subjects)}], got {need}"
+            )
+
+    @property
+    def needed(self) -> int:
+        return self.required or len(self.subjects)
+
+    def matches(
+        self,
+        principals: FrozenSet[PrincipalId],
+        groups: FrozenSet[GroupId],
+    ) -> bool:
+        satisfied = sum(
+            1 for subject in self.subjects if subject.matches(principals, groups)
+        )
+        return satisfied >= self.needed
+
+    def to_wire(self) -> dict:
+        return {
+            "kind": self.KIND,
+            "subjects": [s.to_wire() for s in self.subjects],
+            "required": self.required,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "Compound":
+        return cls(
+            subjects=tuple(subject_from_wire(s) for s in wire["subjects"]),
+            required=int(wire["required"]),
+        )
+
+
+_SUBJECT_KINDS = {
+    cls.KIND: cls
+    for cls in (SinglePrincipal, GroupSubject, Anyone, Compound)
+}
+
+
+def subject_from_wire(wire: dict) -> Subject:
+    try:
+        cls = _SUBJECT_KINDS[wire["kind"]]
+    except (KeyError, TypeError) as exc:
+        raise DecodingError(f"unknown subject: {wire!r}") from exc
+    return cls.from_wire(wire)

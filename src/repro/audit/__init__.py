@@ -1,0 +1,5 @@
+"""Audit trails from delegate cascades (§3.4)."""
+
+from repro.audit.log import AuditLog, AuditRecord
+
+__all__ = ["AuditLog", "AuditRecord"]

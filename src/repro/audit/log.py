@@ -1,0 +1,96 @@
+"""Audit trails from delegate cascades (§3.4).
+
+"An important difference between the two approaches to cascaded
+authorization is that the use of a delegate proxy leaves an audit trail
+since the new proxy identifies the intermediate server."
+
+:class:`AuditLog` collects one record per verified presentation: who was
+authorized (root grantor), through whom (the identity-signed intermediates),
+exercised by whom, for what.  End-servers append to it; operators query it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.verification import VerifiedProxy
+from repro.encoding.identifiers import PrincipalId
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One verified use of delegated rights."""
+
+    time: float
+    server: PrincipalId
+    grantor: PrincipalId
+    claimant: Optional[PrincipalId]
+    intermediates: Tuple[PrincipalId, ...]
+    operation: str
+    target: Optional[str]
+    bearer: bool
+
+    def describe(self) -> str:
+        via = (
+            " via " + " -> ".join(str(p) for p in self.intermediates)
+            if self.intermediates
+            else ""
+        )
+        actor = str(self.claimant) if self.claimant else "<bearer>"
+        return (
+            f"t={self.time:.3f} {self.server}: {actor} exercised rights of "
+            f"{self.grantor}{via}: {self.operation} {self.target or ''}"
+        ).rstrip()
+
+
+class AuditLog:
+    """Append-only audit store with simple queries."""
+
+    def __init__(self) -> None:
+        self._records: List[AuditRecord] = []
+
+    def record(
+        self,
+        time: float,
+        server: PrincipalId,
+        verified: VerifiedProxy,
+        operation: str,
+        target: Optional[str],
+    ) -> AuditRecord:
+        entry = AuditRecord(
+            time=time,
+            server=server,
+            grantor=verified.grantor,
+            claimant=verified.claimant,
+            intermediates=verified.audit_trail,
+            operation=operation,
+            target=target,
+            bearer=verified.bearer,
+        )
+        self._records.append(entry)
+        return entry
+
+    def all(self) -> Tuple[AuditRecord, ...]:
+        return tuple(self._records)
+
+    def involving(self, principal: PrincipalId) -> Tuple[AuditRecord, ...]:
+        """Records where ``principal`` granted, exercised, or relayed."""
+        return tuple(
+            r
+            for r in self._records
+            if r.grantor == principal
+            or r.claimant == principal
+            or principal in r.intermediates
+        )
+
+    def anonymous_uses(self) -> Tuple[AuditRecord, ...]:
+        """Bearer-cascade uses — the ones with *no* audit trail (§3.4)."""
+        return tuple(
+            r
+            for r in self._records
+            if r.claimant is None and not r.intermediates
+        )
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -1,0 +1,58 @@
+"""From-scratch reimplementations of the paper's §5 comparators.
+
+Each baseline exists to make a comparative claim *measurable*:
+
+* :mod:`~repro.baselines.sollins` — cascaded authentication with online
+  chain verification (vs offline proxy chains, §3.4);
+* :mod:`~repro.baselines.karger` — forwarded special passwords,
+  all-or-nothing, online validation;
+* :mod:`~repro.baselines.dssa` — role-based delegation: a fresh principal
+  per rights subset (vs on-the-fly restriction);
+* :mod:`~repro.baselines.amoeba` — prepay bank accounting (vs checks);
+* :mod:`~repro.baselines.grapevine` — per-request registration-server
+  group lookups (vs group proxies);
+* :mod:`~repro.baselines.plain_capability` — bearer tokens in the clear
+  (vs possession-proof capabilities, §3.1).
+"""
+
+from repro.baselines.amoeba import AmoebaBank, AmoebaClient, AmoebaServer
+from repro.baselines.dssa import (
+    DelegationCertificate,
+    DssaPrincipal,
+    DssaVerifier,
+    Role,
+    RoleCertificate,
+)
+from repro.baselines.grapevine import GrapevineEndServer, GrapevineRegistry
+from repro.baselines.karger import KargerEndServer, KargerPasswordServer
+from repro.baselines.plain_capability import PlainCapabilityServer
+from repro.baselines.sollins import (
+    Passport,
+    PassportLink,
+    SollinsAuthServer,
+    SollinsEndServer,
+    create_passport,
+    extend_passport,
+)
+
+__all__ = [
+    "SollinsAuthServer",
+    "SollinsEndServer",
+    "Passport",
+    "PassportLink",
+    "create_passport",
+    "extend_passport",
+    "KargerPasswordServer",
+    "KargerEndServer",
+    "DssaPrincipal",
+    "DssaVerifier",
+    "Role",
+    "RoleCertificate",
+    "DelegationCertificate",
+    "AmoebaBank",
+    "AmoebaServer",
+    "AmoebaClient",
+    "GrapevineRegistry",
+    "GrapevineEndServer",
+    "PlainCapabilityServer",
+]

@@ -1,0 +1,203 @@
+"""Amoeba's bank server (§5 comparator for accounting).
+
+"Amoeba supports a distributed bank server identical in purpose to the
+accounting server based on restricted proxies.  The protocol ... is
+significantly different, however.  In Amoeba, a client must contact the bank
+and transfer funds into the server's account before it contacts the server.
+The server will then provide services until the pre-paid funds have been
+exhausted.  Like the mechanism described here, Amoeba supports multiple
+currencies."
+
+The protocol-shape consequence benchmark C3 measures: every client/server
+pairing requires an up-front bank round-trip (and another to top up or
+refund), whereas a check piggybacks on the service request and clears
+afterwards, off the client's latency path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.clock import Clock
+from repro.encoding.identifiers import PrincipalId
+from repro.errors import (
+    AccountingError,
+    InsufficientFundsError,
+    UnknownAccountError,
+)
+from repro.net.message import Message, raise_if_error
+from repro.net.network import Network
+from repro.net.service import Service
+
+
+class AmoebaBank(Service):
+    """Accounts with prepay transfers (no checks, no delegation)."""
+
+    def __init__(
+        self, principal: PrincipalId, network: Network, clock: Clock
+    ) -> None:
+        super().__init__(principal, network, clock)
+        #: account name -> {currency: balance}
+        self._accounts: Dict[str, Dict[str, int]] = {}
+        #: account name -> owner
+        self._owners: Dict[str, PrincipalId] = {}
+
+    # -- administration ------------------------------------------------------
+
+    def create_account(
+        self,
+        name: str,
+        owner: PrincipalId,
+        initial: Optional[Dict[str, int]] = None,
+    ) -> None:
+        if name in self._accounts:
+            raise AccountingError(f"account {name} exists")
+        self._accounts[name] = dict(initial or {})
+        self._owners[name] = owner
+
+    def balance_of(self, name: str) -> Dict[str, int]:
+        return dict(self._account(name))
+
+    def _account(self, name: str) -> Dict[str, int]:
+        try:
+            return self._accounts[name]
+        except KeyError:
+            raise UnknownAccountError(name) from None
+
+    # -- operations ------------------------------------------------------------
+
+    def op_transfer(self, message: Message) -> dict:
+        """Move funds between accounts; only the owner may debit.
+
+        This is the *pre-payment*: the client calls this before using a
+        server, moving funds into the server's account.
+        """
+        payload = message.payload
+        source = payload["from"]
+        if self._owners.get(source) != message.source:
+            raise AccountingError(
+                f"{message.source} does not own account {source}"
+            )
+        destination = payload["to"]
+        currency = payload["currency"]
+        amount = int(payload["amount"])
+        src = self._account(source)
+        dst = self._account(destination)
+        if src.get(currency, 0) < amount:
+            raise InsufficientFundsError(
+                f"{source} has {src.get(currency, 0)} {currency}"
+            )
+        src[currency] = src.get(currency, 0) - amount
+        dst[currency] = dst.get(currency, 0) + amount
+        return {"balance": src[currency]}
+
+    def op_balance(self, message: Message) -> dict:
+        name = message.payload["account"]
+        if self._owners.get(name) != message.source:
+            raise AccountingError("only the owner may read a balance")
+        return {"balances": self.balance_of(name)}
+
+
+class AmoebaServer(Service):
+    """A service that requires pre-paid funds in its bank account.
+
+    It tracks, per client, how much of its bank balance that client has
+    pre-paid, and draws the per-request price from that allowance —
+    "the server will then provide services until the pre-paid funds have
+    been exhausted."
+    """
+
+    def __init__(
+        self,
+        principal: PrincipalId,
+        network: Network,
+        clock: Clock,
+        bank: PrincipalId,
+        account: str,
+        currency: str,
+        price: int,
+    ) -> None:
+        super().__init__(principal, network, clock)
+        self.bank = bank
+        self.account = account
+        self.currency = currency
+        self.price = price
+        self._prepaid: Dict[PrincipalId, int] = {}
+        self.served = 0
+
+    def op_announce_prepayment(self, message: Message) -> dict:
+        """Client declares a transfer it just made; server verifies with bank."""
+        amount = int(message.payload["amount"])
+        # Trust-but-verify: one round-trip to the bank per announcement.
+        reply = raise_if_error(
+            self.network.send(
+                self.principal,
+                self.bank,
+                "balance",
+                {"account": self.account},
+            )
+        )
+        total_prepaid = sum(self._prepaid.values())
+        balance = int(reply["balances"].get(self.currency, 0))
+        if balance < total_prepaid + amount:
+            raise AccountingError(
+                "announced prepayment not reflected in bank balance"
+            )
+        self._prepaid[message.source] = (
+            self._prepaid.get(message.source, 0) + amount
+        )
+        return {"credit": self._prepaid[message.source]}
+
+    def op_serve(self, message: Message) -> dict:
+        """One unit of service, drawn from the client's pre-paid credit."""
+        credit = self._prepaid.get(message.source, 0)
+        if credit < self.price:
+            raise InsufficientFundsError(
+                f"{message.source} has {credit} {self.currency} pre-paid, "
+                f"price is {self.price}"
+            )
+        self._prepaid[message.source] = credit - self.price
+        self.served += 1
+        return {"served": True, "remaining": self._prepaid[message.source]}
+
+
+class AmoebaClient:
+    """Client-side prepay flow: transfer, announce, then consume."""
+
+    def __init__(
+        self,
+        principal: PrincipalId,
+        network: Network,
+        bank: PrincipalId,
+        account: str,
+    ) -> None:
+        self.principal = principal
+        self.network = network
+        self.bank = bank
+        self.account = account
+
+    def _call(self, destination: PrincipalId, msg_type: str, payload: dict) -> dict:
+        return raise_if_error(
+            self.network.send(self.principal, destination, msg_type, payload)
+        )
+
+    def prepay(
+        self, server: "AmoebaServer", currency: str, amount: int
+    ) -> None:
+        """The two up-front round-trips every pairing needs."""
+        self._call(
+            self.bank,
+            "transfer",
+            {
+                "from": self.account,
+                "to": server.account,
+                "currency": currency,
+                "amount": amount,
+            },
+        )
+        self._call(
+            server.principal, "announce-prepayment", {"amount": amount}
+        )
+
+    def use(self, server: "AmoebaServer") -> dict:
+        return self._call(server.principal, "serve", {})

@@ -1,0 +1,121 @@
+"""Karger's password-forwarding delegation (§5 comparator).
+
+"Karger proposed a server that keeps track of special passwords that are
+established when a user logs in.  These passwords are passed to other
+systems which act on the user's behalf ...  This scheme is not
+encryption-based, but relies on secure channels for passing the special
+passwords."
+
+Properties the benchmarks contrast with restricted proxies:
+
+* delegation is **all-or-nothing** — a forwarded password conveys the user's
+  full rights; no restrictions can be attached;
+* verification is **online** — the end-server must ask the password server
+  whether the password is current;
+* the password itself crosses the network, so any hop without a secure
+  channel leaks full impersonation capability (vs. proxies, where only the
+  certificate crosses in the clear).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.clock import Clock
+from repro.crypto.rng import DEFAULT_RNG, Rng
+from repro.encoding.identifiers import PrincipalId
+from repro.errors import AuthorizationDenied, ServiceError
+from repro.net.message import Message, raise_if_error
+from repro.net.network import Network
+from repro.net.service import Service
+
+
+class KargerPasswordServer(Service):
+    """Tracks per-login special passwords; validates them online."""
+
+    def __init__(
+        self,
+        principal: PrincipalId,
+        network: Network,
+        clock: Clock,
+        lifetime: float = 8 * 3600.0,
+        rng: Optional[Rng] = None,
+    ) -> None:
+        super().__init__(principal, network, clock)
+        self.lifetime = lifetime
+        self._rng = rng or DEFAULT_RNG
+        #: password hex -> (user, expiry)
+        self._passwords: Dict[str, tuple] = {}
+
+    def op_login(self, message: Message) -> dict:
+        """Establish a special password for the logging-in user.
+
+        (Primary authentication is out of scope for the baseline; the
+        message source is taken at its word, as the 1985 design predates
+        network authentication.)
+        """
+        password = self._rng.bytes(16).hex()
+        self._passwords[password] = (
+            message.source,
+            self.clock.now() + self.lifetime,
+        )
+        return {"password": password}
+
+    def op_validate(self, message: Message) -> dict:
+        """End-server side: is this password current, and whose is it?"""
+        password = message.payload["password"]
+        entry = self._passwords.get(password)
+        if entry is None:
+            raise AuthorizationDenied("unknown password")
+        user, expiry = entry
+        if expiry < self.clock.now():
+            del self._passwords[password]
+            raise AuthorizationDenied("password expired")
+        return {"user": user.to_wire()}
+
+    def op_logout(self, message: Message) -> dict:
+        """Invalidate all of the source's passwords (the revocation story)."""
+        dead = [
+            pw
+            for pw, (user, _) in self._passwords.items()
+            if user == message.source
+        ]
+        for pw in dead:
+            del self._passwords[pw]
+        return {"revoked": len(dead)}
+
+
+class KargerEndServer(Service):
+    """Accepts forwarded passwords, validating each use online."""
+
+    def __init__(
+        self,
+        principal: PrincipalId,
+        network: Network,
+        clock: Clock,
+        password_server: PrincipalId,
+    ) -> None:
+        super().__init__(principal, network, clock)
+        self.password_server = password_server
+        self._operations: Dict[str, object] = {}
+
+    def register_operation(self, name: str, handler) -> None:
+        self._operations[name] = handler
+
+    def op_request(self, message: Message) -> dict:
+        payload = message.payload
+        reply = raise_if_error(
+            self.network.send(
+                self.principal,
+                self.password_server,
+                "validate",
+                {"password": payload["password"]},
+            )
+        )
+        user = PrincipalId.from_wire(reply["user"])
+        handler = self._operations.get(payload["operation"])
+        if handler is None:
+            raise ServiceError(f"no operation {payload['operation']!r}")
+        # All-or-nothing: the handler receives the *user's* full identity,
+        # with no way to express "read-only" or "this file only".
+        return handler(user, payload)  # type: ignore[operator]

@@ -1,0 +1,244 @@
+"""Sollins-style cascaded authentication (the paper's §3.4/§5 comparator).
+
+Karen Sollins, *Cascaded Authentication* (IEEE S&P 1988), proposed passing
+authorization from party to party with restrictions added per hop — the same
+expressiveness as cascaded proxies.  The difference the paper calls out:
+
+    "A distinct difference between the cascaded authentication approach
+    described by Sollins and the approach described here is that in
+    Sollins's approach the end-server has to contact the authentication
+    server to verify the authenticity of a chain of proxies." (§3.4)
+
+We model that faithfully: passport links are sealed with each principal's
+*registered* key, which only the authentication server (and the principal)
+knows, so an end-server cannot validate a passport locally — every
+verification costs an online round-trip to :class:`SollinsAuthServer`.
+Benchmark F4 measures the consequence against offline proxy verification.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.clock import Clock
+from repro.core.evaluation import RequestContext
+from repro.core.restrictions import (
+    Restriction,
+    check_all,
+    restrictions_from_wire,
+    restrictions_to_wire,
+)
+from repro.crypto import mac as _mac
+from repro.crypto.keys import SymmetricKey
+from repro.encoding.canonical import encode
+from repro.encoding.identifiers import PrincipalId
+from repro.errors import (
+    AuthorizationDenied,
+    ServiceError,
+    SignatureError,
+)
+from repro.net.message import Message, raise_if_error
+from repro.net.network import Network
+from repro.net.service import Service
+
+_LINK_DOMAIN = "sollins-passport-link-v1"
+
+
+@dataclass(frozen=True)
+class PassportLink:
+    """One hop of a passport: principal, added restrictions, seal."""
+
+    principal: PrincipalId
+    restrictions: Tuple[Restriction, ...]
+    seal: bytes = field(repr=False)
+
+    @staticmethod
+    def sealed_body(
+        principal: PrincipalId,
+        restrictions: Tuple[Restriction, ...],
+        previous_digest: bytes,
+    ) -> bytes:
+        return encode(
+            [
+                _LINK_DOMAIN,
+                principal.to_wire(),
+                restrictions_to_wire(restrictions),
+                previous_digest,
+            ]
+        )
+
+    def to_wire(self) -> dict:
+        return {
+            "principal": self.principal.to_wire(),
+            "restrictions": restrictions_to_wire(self.restrictions),
+            "seal": self.seal,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "PassportLink":
+        return cls(
+            principal=PrincipalId.from_wire(wire["principal"]),
+            restrictions=restrictions_from_wire(wire["restrictions"]),
+            seal=wire["seal"],
+        )
+
+
+@dataclass(frozen=True)
+class Passport:
+    """A chain of links; each seal covers a digest of the chain so far."""
+
+    links: Tuple[PassportLink, ...]
+
+    def digest(self) -> bytes:
+        return hashlib.sha256(
+            encode([link.to_wire() for link in self.links])
+        ).digest()
+
+    def to_wire(self) -> dict:
+        return {"links": [link.to_wire() for link in self.links]}
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "Passport":
+        return cls(
+            links=tuple(PassportLink.from_wire(l) for l in wire["links"])
+        )
+
+    def all_restrictions(self) -> Tuple[Restriction, ...]:
+        out: List[Restriction] = []
+        for link in self.links:
+            out.extend(link.restrictions)
+        return tuple(out)
+
+
+def create_passport(
+    principal: PrincipalId,
+    key: SymmetricKey,
+    restrictions: Tuple[Restriction, ...],
+) -> Passport:
+    """Originate a passport (the user's initial grant)."""
+    body = PassportLink.sealed_body(principal, restrictions, b"")
+    link = PassportLink(
+        principal=principal,
+        restrictions=restrictions,
+        seal=_mac.tag(key.secret, body),
+    )
+    return Passport(links=(link,))
+
+
+def extend_passport(
+    passport: Passport,
+    principal: PrincipalId,
+    key: SymmetricKey,
+    restrictions: Tuple[Restriction, ...],
+) -> Passport:
+    """Add a hop (an intermediate passing the task on, restrictions added)."""
+    body = PassportLink.sealed_body(
+        principal, restrictions, passport.digest()
+    )
+    link = PassportLink(
+        principal=principal,
+        restrictions=restrictions,
+        seal=_mac.tag(key.secret, body),
+    )
+    return Passport(links=passport.links + (link,))
+
+
+class SollinsAuthServer(Service):
+    """The online verifier: the only party able to validate passports."""
+
+    def __init__(
+        self, principal: PrincipalId, network: Network, clock: Clock
+    ) -> None:
+        super().__init__(principal, network, clock)
+        self._keys: Dict[PrincipalId, SymmetricKey] = {}
+
+    def register(self, principal: PrincipalId, key: Optional[SymmetricKey] = None) -> SymmetricKey:
+        key = key or SymmetricKey.generate()
+        self._keys[principal] = key
+        return key
+
+    def op_verify_passport(self, message: Message) -> dict:
+        """Validate every link's seal; return the originator if sound."""
+        passport = Passport.from_wire(message.payload["passport"])
+        if not passport.links:
+            raise ServiceError("empty passport")
+        previous_digest = b""
+        running = Passport(links=())
+        for link in passport.links:
+            key = self._keys.get(link.principal)
+            if key is None:
+                raise AuthorizationDenied(
+                    f"unknown principal {link.principal}"
+                )
+            body = PassportLink.sealed_body(
+                link.principal, link.restrictions, previous_digest
+            )
+            try:
+                _mac.verify(key.secret, body, link.seal)
+            except SignatureError:
+                raise AuthorizationDenied(
+                    f"bad seal on link of {link.principal}"
+                ) from None
+            running = Passport(links=running.links + (link,))
+            previous_digest = running.digest()
+        return {
+            "valid": True,
+            "originator": passport.links[0].principal.to_wire(),
+        }
+
+
+class SollinsEndServer(Service):
+    """An end-server that must verify passports online.
+
+    Registered operations mirror :class:`~repro.services.endserver.EndServer`
+    handlers so benchmarks drive both stacks identically.
+    """
+
+    def __init__(
+        self,
+        principal: PrincipalId,
+        network: Network,
+        clock: Clock,
+        auth_server: PrincipalId,
+    ) -> None:
+        super().__init__(principal, network, clock)
+        self.auth_server = auth_server
+        self._operations: Dict[str, object] = {}
+
+    def register_operation(self, name: str, handler) -> None:
+        self._operations[name] = handler
+
+    def op_request(self, message: Message) -> dict:
+        payload = message.payload
+        passport = Passport.from_wire(payload["passport"])
+        # The defining cost: one online round-trip per verification.
+        reply = raise_if_error(
+            self.network.send(
+                self.principal,
+                self.auth_server,
+                "verify-passport",
+                {"passport": passport.to_wire()},
+            )
+        )
+        if not reply.get("valid"):
+            raise AuthorizationDenied("passport rejected by auth server")
+        originator = PrincipalId.from_wire(reply["originator"])
+        context = RequestContext(
+            server=self.principal,
+            operation=payload["operation"],
+            target=payload.get("target"),
+            claimant=message.source,
+            exercisers=frozenset({message.source}),
+            amounts={
+                str(k): int(v)
+                for k, v in (payload.get("amounts") or {}).items()
+            },
+            time=self.clock.now(),
+        )
+        check_all(passport.all_restrictions(), context)
+        handler = self._operations.get(payload["operation"])
+        if handler is None:
+            raise ServiceError(f"no operation {payload['operation']!r}")
+        return handler(originator, payload)  # type: ignore[operator]

@@ -1,0 +1,79 @@
+"""Injectable clocks.
+
+Expiration times, replay windows, and clock-skew checks all depend on "now".
+To keep tests deterministic and benchmarks honest, every component takes a
+:class:`Clock` rather than calling ``time.time()`` directly.
+
+Two implementations are provided:
+
+* :class:`SimulatedClock` — a manually-advanced logical clock for tests and
+  the network simulator.
+* :class:`SystemClock` — a thin wrapper over ``time.time()`` for benchmarks
+  and examples that run in real time.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+
+
+class Clock(ABC):
+    """Source of the current time, in seconds since an arbitrary epoch."""
+
+    @abstractmethod
+    def now(self) -> float:
+        """Return the current time in seconds."""
+
+    def after(self, seconds: float) -> float:
+        """Return the instant ``seconds`` from now (convenience for expiry)."""
+        return self.now() + seconds
+
+
+class SimulatedClock(Clock):
+    """A deterministic clock advanced explicitly by the test or simulator.
+
+    The clock never moves on its own; call :meth:`advance` (relative) or
+    :meth:`set` (absolute).  Moving backwards is rejected because no component
+    in the system is specified to tolerate time reversal.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward by ``seconds`` and return the new time."""
+        if seconds < 0:
+            raise ValueError("cannot advance a clock by a negative amount")
+        self._now += seconds
+        return self._now
+
+    def set(self, instant: float) -> None:
+        """Jump the clock to an absolute ``instant`` (must not go backwards)."""
+        if instant < self._now:
+            raise ValueError(
+                f"cannot move clock backwards ({instant} < {self._now})"
+            )
+        self._now = float(instant)
+
+    def __repr__(self) -> str:
+        return f"SimulatedClock(now={self._now})"
+
+
+class SystemClock(Clock):
+    """Wall-clock time from the operating system."""
+
+    def now(self) -> float:
+        return time.time()
+
+    def __repr__(self) -> str:
+        return "SystemClock()"
+
+
+#: Forever, for proxies that should never expire (§3.1: "if a nonexpiring
+#: capability is desired, the expiration time can be set sufficiently far in
+#: the future").
+NEVER = float("inf")

@@ -1,0 +1,322 @@
+"""Proxy certificates and proxy-key bindings (Fig. 1, Fig. 6).
+
+A restricted proxy has two parts (§2): a **certificate** signed by the
+grantor — enumerating restrictions and establishing a key "to be used by the
+end-server to verify that the proxy was properly issued to the bearer" — and
+the **proxy key** itself, held by the grantee.
+
+The certificate embeds the *verification side* of the proxy key as a
+:class:`KeyBinding`, in one of three forms matching §6:
+
+* :class:`PublicKeyBinding` — pure public-key scheme (Fig. 6): the binding is
+  the public half of a fresh keypair; the grantee holds the private half.
+* :class:`SealedKeyBinding` — conventional scheme (§6.2): a symmetric proxy
+  key sealed so the end-server can recover it.  In a root certificate the
+  sealing key is one the grantor shares with the end-server (a Kerberos
+  session key); in a cascaded certificate it is the *previous* proxy key
+  (Fig. 4 — each link is signed, and its key sealed, under the key of the
+  link before it).
+* :class:`HybridKeyBinding` — hybrid scheme (§6.1): a symmetric proxy key
+  encrypted in the *public key of the end-server*, so a public-key-signed
+  certificate can carry a cheap conventional proxy key.
+
+Certificate link kinds (``link_kind``):
+
+* ``root`` — signed by the grantor's own authentication credentials.
+* ``cascade`` — signed by the previous link's proxy key (bearer cascade,
+  §3.4 / Fig. 4).
+* ``delegate`` — signed by the identity key of an intermediate that was
+  *named* in the previous link's grantee list (delegate cascade, §3.4);
+  this variant leaves an audit trail.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.core.restrictions import (
+    Restriction,
+    restrictions_from_wire,
+    restrictions_to_wire,
+)
+from repro.crypto.rng import DEFAULT_RNG, Rng
+from repro.crypto.signature import Signer
+from repro.encoding.canonical import encode
+from repro.encoding.identifiers import PrincipalId
+from repro.errors import DecodingError, ProxyError
+
+#: Version string bound into every signature so future format changes can
+#: never be confused with this one.
+_CERT_DOMAIN = "repro-proxy-cert-v1"
+
+LINK_ROOT = "root"
+LINK_CASCADE = "cascade"
+LINK_DELEGATE = "delegate"
+_LINK_KINDS = (LINK_ROOT, LINK_CASCADE, LINK_DELEGATE)
+
+
+# ---------------------------------------------------------------------------
+# Key bindings
+# ---------------------------------------------------------------------------
+
+class KeyBinding(ABC):
+    """The end-server-visible side of a proxy key."""
+
+    KIND: str = ""
+
+    @abstractmethod
+    def to_wire(self) -> dict:
+        """Serialize (including the ``kind`` discriminator)."""
+
+    @classmethod
+    @abstractmethod
+    def from_wire(cls, wire: dict) -> "KeyBinding":
+        """Reconstruct (``kind`` already dispatched)."""
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, KeyBinding) and self.to_wire() == other.to_wire()
+
+    def __hash__(self) -> int:
+        return hash(encode(self.to_wire()))
+
+
+@dataclass(frozen=True, eq=False)
+class PublicKeyBinding(KeyBinding):
+    """Fig. 6: the proxy key in the certificate is a public key.
+
+    ``scheme`` is ``"schnorr"`` or ``"rsa"``; ``key_wire`` is the public
+    key's own wire dict.
+    """
+
+    KIND = "public"
+
+    scheme: str
+    key_wire: dict
+
+    def to_wire(self) -> dict:
+        return {"kind": self.KIND, "scheme": self.scheme, "key": dict(self.key_wire)}
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "PublicKeyBinding":
+        return cls(scheme=wire["scheme"], key_wire=dict(wire["key"]))
+
+
+@dataclass(frozen=True, eq=False)
+class SealedKeyBinding(KeyBinding):
+    """§6.2: a symmetric proxy key sealed for recovery by the end-server.
+
+    Attributes:
+        box: the sealed key (under a grantor↔end-server shared key for root
+            links; under the previous proxy key for cascade links).
+        fingerprint: fingerprint of the sealed key, letting holders match
+            keys without unsealing.
+    """
+
+    KIND = "sealed"
+
+    box: bytes = field(repr=False)
+    fingerprint: bytes
+
+    def to_wire(self) -> dict:
+        return {"kind": self.KIND, "box": self.box, "fp": self.fingerprint}
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "SealedKeyBinding":
+        return cls(box=wire["box"], fingerprint=wire["fp"])
+
+
+@dataclass(frozen=True, eq=False)
+class HybridKeyBinding(KeyBinding):
+    """§6.1 hybrid: symmetric proxy key encrypted to the end-server's
+    public key ("the proxy key must be additionally encrypted in the public
+    key of the end-server to protect it from disclosure").
+
+    Attributes:
+        box: public-key-encrypted symmetric proxy key.
+        scheme: ``"schnorr-ies"`` or ``"rsa-oaep"``.
+        server: the end-server whose key was used (only it can unseal).
+        fingerprint: fingerprint of the enclosed symmetric key.
+    """
+
+    KIND = "hybrid"
+
+    box: bytes = field(repr=False)
+    scheme: str
+    server: PrincipalId
+    fingerprint: bytes
+
+    def to_wire(self) -> dict:
+        return {
+            "kind": self.KIND,
+            "box": self.box,
+            "scheme": self.scheme,
+            "server": self.server.to_wire(),
+            "fp": self.fingerprint,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "HybridKeyBinding":
+        return cls(
+            box=wire["box"],
+            scheme=wire["scheme"],
+            server=PrincipalId.from_wire(wire["server"]),
+            fingerprint=wire["fp"],
+        )
+
+
+_BINDING_KINDS = {
+    PublicKeyBinding.KIND: PublicKeyBinding,
+    SealedKeyBinding.KIND: SealedKeyBinding,
+    HybridKeyBinding.KIND: HybridKeyBinding,
+}
+
+
+def key_binding_from_wire(wire: dict) -> KeyBinding:
+    try:
+        cls = _BINDING_KINDS[wire["kind"]]
+    except (KeyError, TypeError) as exc:
+        raise DecodingError(f"unknown key binding: {wire!r}") from exc
+    return cls.from_wire(wire)
+
+
+# ---------------------------------------------------------------------------
+# The certificate
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ProxyCertificate:
+    """One signed link of a proxy (Fig. 1 / Fig. 4 / Fig. 6).
+
+    Attributes:
+        grantor: for a root link, the principal whose rights the proxy
+            conveys; for a delegate link, the intermediate that signed it.
+            (Cascade links keep the issuing link implicit — they are signed
+            by the previous proxy key.)
+        restrictions: this link's additional restrictions (§7).
+        key_binding: end-server-verifiable side of this link's proxy key.
+        issued_at / expires_at: validity window.  Effective expiry of a
+            chain is the minimum over links.
+        link_kind: ``root`` | ``cascade`` | ``delegate``.
+        nonce: uniqueness; makes two otherwise-identical grants distinct.
+        signature: over the canonical encoding of everything above.
+    """
+
+    grantor: PrincipalId
+    restrictions: Tuple[Restriction, ...]
+    key_binding: KeyBinding
+    issued_at: float
+    expires_at: float
+    link_kind: str
+    nonce: bytes
+    signature: bytes = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if self.link_kind not in _LINK_KINDS:
+            raise ProxyError(f"bad link kind {self.link_kind!r}")
+        if self.expires_at < self.issued_at:
+            raise ProxyError("certificate expires before it is issued")
+
+    # -- signing ----------------------------------------------------------
+
+    @staticmethod
+    def signed_body(
+        grantor: PrincipalId,
+        restrictions: Tuple[Restriction, ...],
+        key_binding: KeyBinding,
+        issued_at: float,
+        expires_at: float,
+        link_kind: str,
+        nonce: bytes,
+    ) -> bytes:
+        """The canonical byte string covered by the signature."""
+        return encode(
+            [
+                _CERT_DOMAIN,
+                grantor.to_wire(),
+                restrictions_to_wire(restrictions),
+                key_binding.to_wire(),
+                float(issued_at),
+                float(expires_at),
+                link_kind,
+                nonce,
+            ]
+        )
+
+    def body_bytes(self) -> bytes:
+        return self.signed_body(
+            self.grantor,
+            self.restrictions,
+            self.key_binding,
+            self.issued_at,
+            self.expires_at,
+            self.link_kind,
+            self.nonce,
+        )
+
+    # -- wire -------------------------------------------------------------
+
+    def to_wire(self) -> dict:
+        return {
+            "grantor": self.grantor.to_wire(),
+            "restrictions": restrictions_to_wire(self.restrictions),
+            "key_binding": self.key_binding.to_wire(),
+            "issued_at": float(self.issued_at),
+            "expires_at": float(self.expires_at),
+            "link_kind": self.link_kind,
+            "nonce": self.nonce,
+            "signature": self.signature,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "ProxyCertificate":
+        return cls(
+            grantor=PrincipalId.from_wire(wire["grantor"]),
+            restrictions=restrictions_from_wire(wire["restrictions"]),
+            key_binding=key_binding_from_wire(wire["key_binding"]),
+            issued_at=float(wire["issued_at"]),
+            expires_at=float(wire["expires_at"]),
+            link_kind=wire["link_kind"],
+            nonce=wire["nonce"],
+            signature=wire["signature"],
+        )
+
+    def to_bytes(self) -> bytes:
+        return encode(self.to_wire())
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ProxyCertificate":
+        from repro.encoding.canonical import decode
+
+        wire = decode(data)
+        if not isinstance(wire, dict):
+            raise DecodingError("certificate wire form must be a dict")
+        return cls.from_wire(wire)
+
+
+def build_certificate(
+    grantor: PrincipalId,
+    restrictions: Tuple[Restriction, ...],
+    key_binding: KeyBinding,
+    issued_at: float,
+    expires_at: float,
+    link_kind: str,
+    signer: Signer,
+    rng: Optional[Rng] = None,
+) -> ProxyCertificate:
+    """Assemble and sign a certificate link."""
+    nonce = (rng or DEFAULT_RNG).bytes(16)
+    body = ProxyCertificate.signed_body(
+        grantor, restrictions, key_binding, issued_at, expires_at, link_kind, nonce
+    )
+    return ProxyCertificate(
+        grantor=grantor,
+        restrictions=restrictions,
+        key_binding=key_binding,
+        issued_at=issued_at,
+        expires_at=expires_at,
+        link_kind=link_kind,
+        nonce=nonce,
+        signature=signer.sign(body),
+    )

@@ -1,0 +1,100 @@
+"""Request evaluation context for restriction checking.
+
+A restricted proxy is presented to an end-server together with a concrete
+*request* — perform operation X on object Y, consume N units of currency C.
+Every restriction type (§7) is a predicate over this context.  The context is
+assembled by the end-server's verification engine
+(:mod:`repro.core.verification`) and handed to each restriction's ``check``
+method; restrictions never see server internals directly.
+
+Some fields are filled in per *chain link* by the verifier (``grantor``,
+``exercisers``) because their meaning depends on the position in a cascaded
+chain — e.g. the ``grantee`` restriction of link *i* is satisfied by the
+principal that signed link *i+1*, not by the final claimant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Optional, Protocol
+
+from repro.encoding.identifiers import GroupId, PrincipalId
+
+
+class ReplayRegistry(Protocol):
+    """State the ``accept-once`` restriction needs (§7.7).
+
+    The end-server owns the registry; the restriction only asks "have you
+    seen this (grantor, identifier) pair before?" and registers it.
+    """
+
+    def register(self, grantor: PrincipalId, identifier: str, expires_at: float) -> bool:
+        """Record the identifier.  Returns True iff this is the first time."""
+
+    def register_counted(
+        self,
+        grantor: PrincipalId,
+        identifier: str,
+        expires_at: float,
+        limit: int,
+    ) -> bool:
+        """Count a use.  Returns True while the count stays within limit."""
+
+
+@dataclass(frozen=True)
+class RequestContext:
+    """Everything a restriction may examine when deciding a request.
+
+    Attributes:
+        server: the end-server evaluating the request (its principal id).
+        operation: the operation requested (free-form; grantor and end-server
+            must agree on vocabulary — §7.5).
+        target: the object the operation applies to, or None for
+            object-less operations (e.g. "assert group membership").
+        claimant: the authenticated identity of the presenter, or None when
+            the presenter authenticated only by proof of proxy-key
+            possession (pure bearer presentation).
+        supporting_groups: groups asserted via group proxies presented
+            alongside the main proxy (for ``for-use-by-group``, §7.2).
+        asserting_group: when the request *is* a group-membership assertion,
+            the group being asserted (checked by ``group-membership``, §7.6).
+        amounts: resources requested in this operation, by currency
+            (for ``quota``, §7.4).
+        time: current time at the end-server.
+        grantor: the grantor of the chain link being evaluated (set by the
+            verifier; used by ``accept-once`` to scope identifiers).
+        exercisers: principals considered to be exercising the link being
+            evaluated — the signer of the next link, or the final claimant
+            (used by ``grantee``, §7.1).
+        replay_registry: server-side accept-once state, or None when the
+            server does not support accept-once proxies.
+        link_expires_at: expiration of the certificate link under
+            evaluation (used by ``accept-once`` to bound registry entries).
+    """
+
+    server: PrincipalId
+    operation: str
+    target: Optional[str] = None
+    claimant: Optional[PrincipalId] = None
+    supporting_groups: FrozenSet[GroupId] = frozenset()
+    asserting_group: Optional[GroupId] = None
+    amounts: Dict[str, int] = field(default_factory=dict)
+    time: float = 0.0
+    grantor: Optional[PrincipalId] = None
+    exercisers: FrozenSet[PrincipalId] = frozenset()
+    replay_registry: Optional[ReplayRegistry] = None
+    link_expires_at: float = float("inf")
+
+    def for_link(
+        self,
+        grantor: PrincipalId,
+        exercisers: FrozenSet[PrincipalId],
+        link_expires_at: float,
+    ) -> "RequestContext":
+        """Specialize this context for one chain link (verifier use)."""
+        return replace(
+            self,
+            grantor=grantor,
+            exercisers=exercisers,
+            link_expires_at=link_expires_at,
+        )

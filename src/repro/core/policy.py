@@ -1,0 +1,126 @@
+"""Static policy queries over restriction sets.
+
+These helpers answer "*could* this proxy ever allow X?" without a full
+presentation — used by services to pre-filter, by the authorization server
+when copying restrictions forward (§3.5/§7.9), and by tests asserting
+monotonicity.  They are conservative: a True answer still requires dynamic
+verification at presentation time (possession, freshness, accept-once).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.restrictions import (
+    Authorized,
+    ForUseByGroup,
+    Grantee,
+    IssuedFor,
+    LimitRestriction,
+    Quota,
+    Restriction,
+)
+from repro.encoding.identifiers import PrincipalId
+
+
+def _scoped(
+    restrictions: Tuple[Restriction, ...], server: Optional[PrincipalId]
+) -> Tuple[Restriction, ...]:
+    """Flatten limit-restrictions that apply at ``server`` (§7.8).
+
+    With ``server=None`` the query is server-agnostic and every nested
+    restriction is assumed applicable (conservative).
+    """
+    flat: list = []
+    for restriction in restrictions:
+        if isinstance(restriction, LimitRestriction):
+            if server is None or server in restriction.servers:
+                flat.extend(_scoped(restriction.restrictions, server))
+        else:
+            flat.append(restriction)
+    return tuple(flat)
+
+
+def may_use_at(
+    restrictions: Tuple[Restriction, ...], server: PrincipalId
+) -> bool:
+    """False when an ``issued-for`` restriction excludes ``server`` (§7.3)."""
+    for restriction in _scoped(restrictions, server):
+        if isinstance(restriction, IssuedFor):
+            if server not in restriction.servers:
+                return False
+    return True
+
+
+def may_perform(
+    restrictions: Tuple[Restriction, ...],
+    operation: str,
+    target: Optional[str],
+    server: Optional[PrincipalId] = None,
+) -> bool:
+    """False when any ``authorized`` restriction rules the operation out (§7.5)."""
+    for restriction in _scoped(restrictions, server):
+        if isinstance(restriction, Authorized):
+            if not any(
+                entry.matches(operation, target)
+                for entry in restriction.entries
+            ):
+                return False
+    return True
+
+
+def quota_limit(
+    restrictions: Tuple[Restriction, ...],
+    currency: str,
+    server: Optional[PrincipalId] = None,
+) -> Optional[int]:
+    """Tightest quota on ``currency``, or None when unbounded (§7.4)."""
+    limits = [
+        r.limit
+        for r in _scoped(restrictions, server)
+        if isinstance(r, Quota) and r.currency == currency
+    ]
+    return min(limits) if limits else None
+
+
+def allowed_exercisers(
+    restrictions: Tuple[Restriction, ...],
+    server: Optional[PrincipalId] = None,
+) -> Optional[Tuple[PrincipalId, ...]]:
+    """Named grantees, or None for a bearer proxy (anyone) (§7.1)."""
+    for restriction in _scoped(restrictions, server):
+        if isinstance(restriction, Grantee):
+            return restriction.principals
+    return None
+
+
+def required_groups(
+    restrictions: Tuple[Restriction, ...],
+    server: Optional[PrincipalId] = None,
+) -> Tuple[ForUseByGroup, ...]:
+    """All for-use-by-group requirements in scope (§7.2)."""
+    return tuple(
+        r
+        for r in _scoped(restrictions, server)
+        if isinstance(r, ForUseByGroup)
+    )
+
+
+def is_narrower(
+    tighter: Tuple[Restriction, ...],
+    looser: Tuple[Restriction, ...],
+) -> bool:
+    """True when ``tighter`` is a superset of ``looser`` (additive check).
+
+    Because restrictions only ever accumulate, a derived proxy's restriction
+    multiset must contain every restriction of its ancestor.  This is the
+    structural form of the paper's "restrictions may be added, but not
+    removed" (§6.2) and is what the property tests assert.
+    """
+    remaining = list(tighter)
+    for restriction in looser:
+        if restriction in remaining:
+            remaining.remove(restriction)
+        else:
+            return False
+    return True

@@ -1,0 +1,166 @@
+"""Replay suppression state kept by end-servers.
+
+Two kinds of replay must be stopped:
+
+* **Authenticator replay** — an eavesdropper re-sends a captured possession
+  proof.  Suppressed by :class:`AuthenticatorCache` within the freshness
+  window, exactly as Kerberos replay caches do (§6.2).
+* **Accept-once replay** — the same single-use proxy (e.g. a check, §7.7) is
+  presented twice.  Suppressed by :class:`AcceptOnceRegistry`: "the
+  accounting server keeps track of the check number until the expiration
+  time on the check" (§4).
+
+Both caches expire entries against the injected clock using an expiry heap,
+so each operation costs O(log n) amortized rather than a full scan — an
+accounting server tracks one entry per *live* check, which can be large.
+"""
+
+from __future__ import annotations
+
+import heapq
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Tuple
+
+from repro.clock import Clock
+from repro.encoding.identifiers import PrincipalId
+
+
+class AcceptOnceRegistry:
+    """Tracks accept-once identifiers per grantor until they expire (§7.7).
+
+    Registrations can be made transactional: the paper records a check
+    number only "once a check is paid" (§4), so a server wraps
+    verification-plus-payment in :meth:`transaction` and a failure after
+    verification rolls the identifier back, leaving the check usable.
+
+    Count-limited identifiers (:meth:`register_counted`) support the
+    ``use-limit`` restriction — accept-N rather than accept-once.
+    """
+
+    def __init__(self, clock: Clock) -> None:
+        self._clock = clock
+        self._seen: Dict[Tuple[PrincipalId, str], float] = {}
+        self._counts: Dict[Tuple[PrincipalId, str], Tuple[int, float]] = {}
+        #: (expiry, kind, key) min-heap driving amortized expiration.
+        self._expiry_heap: List[tuple] = []
+        self._txn_stack: List[List[Tuple[str, Tuple[PrincipalId, str]]]] = []
+
+    def register(
+        self, grantor: PrincipalId, identifier: str, expires_at: float
+    ) -> bool:
+        """Record (grantor, identifier).  True iff this is the first sighting.
+
+        An identifier becomes reusable once the proxy that carried it has
+        expired — the paper keeps check numbers only "until the expiration
+        time on the check".
+        """
+        self._expire()
+        key = (grantor, identifier)
+        if key in self._seen:
+            return False
+        self._seen[key] = expires_at
+        heapq.heappush(self._expiry_heap, (expires_at, "once", key))
+        if self._txn_stack:
+            self._txn_stack[-1].append(("once", key))
+        return True
+
+    def register_counted(
+        self,
+        grantor: PrincipalId,
+        identifier: str,
+        expires_at: float,
+        limit: int,
+    ) -> bool:
+        """Count a use of (grantor, identifier); True while under ``limit``.
+
+        Generalizes accept-once to accept-N (the ``use-limit`` restriction).
+        Counts expire with the proxy, like accept-once identifiers, and are
+        transactional: a failed request does not consume a use.
+        """
+        self._expire()
+        key = (grantor, identifier)
+        used, _ = self._counts.get(key, (0, 0.0))
+        if used >= limit:
+            return False
+        self._counts[key] = (used + 1, expires_at)
+        if used == 0:
+            heapq.heappush(self._expiry_heap, (expires_at, "count", key))
+        if self._txn_stack:
+            self._txn_stack[-1].append(("count", key))
+        return True
+
+    @contextmanager
+    def transaction(self) -> Iterator[None]:
+        """Roll back registrations made inside the block if it raises."""
+        added: List[Tuple[str, Tuple[PrincipalId, str]]] = []
+        self._txn_stack.append(added)
+        try:
+            yield
+        except BaseException:
+            for kind, key in added:
+                if kind == "once":
+                    self._seen.pop(key, None)
+                else:
+                    used, expiry = self._counts.get(key, (0, 0.0))
+                    if used <= 1:
+                        self._counts.pop(key, None)
+                    else:
+                        self._counts[key] = (used - 1, expiry)
+            raise
+        finally:
+            self._txn_stack.pop()
+
+    def _expire(self) -> None:
+        now = self._clock.now()
+        heap = self._expiry_heap
+        while heap and heap[0][0] < now:
+            expiry, kind, key = heapq.heappop(heap)
+            if kind == "once":
+                # Only drop if this heap entry is the live registration
+                # (the key may have been re-registered after rollback).
+                if self._seen.get(key) == expiry:
+                    del self._seen[key]
+            else:
+                entry = self._counts.get(key)
+                if entry is not None and entry[1] == expiry:
+                    del self._counts[key]
+
+    def __len__(self) -> int:
+        self._expire()
+        return len(self._seen) + len(self._counts)
+
+
+class AuthenticatorCache:
+    """Suppresses re-presentation of possession proofs within the window."""
+
+    def __init__(self, clock: Clock, window: float = 300.0) -> None:
+        self._clock = clock
+        self._window = window
+        self._seen: Dict[bytes, float] = {}
+        self._expiry_heap: List[Tuple[float, bytes]] = []
+
+    @property
+    def window(self) -> float:
+        return self._window
+
+    def register(self, digest: bytes) -> bool:
+        """Record an authenticator digest.  True iff not seen before."""
+        self._expire()
+        if digest in self._seen:
+            return False
+        expires_at = self._clock.now() + self._window
+        self._seen[digest] = expires_at
+        heapq.heappush(self._expiry_heap, (expires_at, digest))
+        return True
+
+    def _expire(self) -> None:
+        now = self._clock.now()
+        heap = self._expiry_heap
+        while heap and heap[0][0] < now:
+            expiry, digest = heapq.heappop(heap)
+            if self._seen.get(digest) == expiry:
+                del self._seen[digest]
+
+    def __len__(self) -> int:
+        self._expire()
+        return len(self._seen)

@@ -1,0 +1,506 @@
+"""End-server verification of presented proxies (§2, §3.4, §6).
+
+This is the trust boundary of the whole system: everything that arrives in a
+:class:`~repro.core.presentation.PresentedProxy` is attacker-controlled bytes
+until this module has checked it.  Verification proceeds in five stages:
+
+1. **Root signature** — the first certificate must verify under the
+   grantor's authentication credentials, resolved through the pluggable
+   :class:`EndServerCryptoContext` (shared keys for conventional crypto,
+   a key directory for public-key crypto — §6).
+2. **Chain walk** (Fig. 4) — each subsequent link must be signed either by
+   the *previous link's proxy key* (bearer cascade) or by the *identity key
+   of an intermediate named in the previous link's grantee list* (delegate
+   cascade, which contributes to the audit trail).
+3. **Freshness** — every link unexpired, no link issued in the future
+   (modulo clock skew), possession proof within the freshness window and
+   not replayed.
+4. **Possession / identity** — bearer use requires a valid possession proof
+   under the final proxy key; delegate use requires the authenticated
+   claimant to satisfy the grantee restriction.
+5. **Restrictions** — every restriction of every link is evaluated against
+   the request (additive semantics, §6.2); ``limit-restriction`` scoping and
+   ``accept-once`` state are handled by the restriction objects themselves.
+
+The result is a :class:`VerifiedProxy`: the root grantor whose rights apply,
+the audit trail of intermediates, and the chain's effective expiry.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Tuple, Union
+
+from repro.clock import Clock
+from repro.core.certificate import (
+    LINK_CASCADE,
+    LINK_DELEGATE,
+    LINK_ROOT,
+    HybridKeyBinding,
+    ProxyCertificate,
+    PublicKeyBinding,
+    SealedKeyBinding,
+)
+from repro.core.evaluation import RequestContext
+from repro.core.presentation import PresentedProxy
+from repro.core.replay import AcceptOnceRegistry, AuthenticatorCache
+from repro.core.restrictions import (
+    Expiration,
+    Grantee,
+    IssuedFor,
+    LimitRestriction,
+    check_all,
+)
+from repro.crypto import rsa as _rsa
+from repro.crypto import schnorr as _schnorr
+from repro.crypto import symmetric as _symmetric
+from repro.crypto.keys import KeyPair, SymmetricKey
+from repro.crypto.signature import (
+    HmacSigner,
+    RsaVerifier,
+    SchnorrVerifier,
+    Verifier,
+)
+from repro.encoding.identifiers import PrincipalId
+from repro.errors import (
+    CryptoError,
+    IntegrityError,
+    ProxyExpiredError,
+    ProxyVerificationError,
+    ReplayError,
+    SignatureError,
+)
+
+
+# ---------------------------------------------------------------------------
+# Crypto contexts (§6: conventional vs public-key infrastructure)
+# ---------------------------------------------------------------------------
+
+class EndServerCryptoContext(ABC):
+    """How this end-server resolves grantor keys and unseals proxy keys."""
+
+    @abstractmethod
+    def grantor_verifier(self, grantor: PrincipalId) -> Verifier:
+        """Verifier for signatures made with ``grantor``'s credentials.
+
+        Raises:
+            ProxyVerificationError: when the grantor is unknown here.
+        """
+
+    @abstractmethod
+    def unseal_root_key(self, grantor: PrincipalId, box: bytes) -> bytes:
+        """Recover a symmetric proxy key sealed by ``grantor`` for us (§6.2)."""
+
+    @abstractmethod
+    def decrypt_hybrid(self, scheme: str, box: bytes) -> bytes:
+        """Recover a symmetric proxy key encrypted to our public key (§6.1)."""
+
+
+class SharedKeyCrypto(EndServerCryptoContext):
+    """Conventional cryptography: pairwise shared (session) keys (§6.2).
+
+    The Kerberos substrate populates ``shared_keys`` from AP exchanges; tests
+    may populate it directly.  A grantor signature is an HMAC under the
+    shared key and the sealed proxy key opens under the same key.
+    """
+
+    def __init__(
+        self, shared_keys: Optional[Dict[PrincipalId, SymmetricKey]] = None
+    ) -> None:
+        self._shared_keys: Dict[PrincipalId, SymmetricKey] = dict(
+            shared_keys or {}
+        )
+
+    def add_shared_key(self, principal: PrincipalId, key: SymmetricKey) -> None:
+        self._shared_keys[principal] = key
+
+    def drop_shared_key(self, principal: PrincipalId) -> None:
+        self._shared_keys.pop(principal, None)
+
+    def _key_for(self, grantor: PrincipalId) -> SymmetricKey:
+        try:
+            return self._shared_keys[grantor]
+        except KeyError:
+            raise ProxyVerificationError(
+                f"no shared key with grantor {grantor}"
+            ) from None
+
+    def grantor_verifier(self, grantor: PrincipalId) -> Verifier:
+        return HmacSigner(key=self._key_for(grantor))
+
+    def unseal_root_key(self, grantor: PrincipalId, box: bytes) -> bytes:
+        try:
+            return _symmetric.unseal(self._key_for(grantor).secret, box)
+        except IntegrityError as exc:
+            raise ProxyVerificationError(
+                f"sealed proxy key from {grantor} failed to open: {exc}"
+            ) from exc
+
+    def decrypt_hybrid(self, scheme: str, box: bytes) -> bytes:
+        raise ProxyVerificationError(
+            "conventional-crypto server cannot open hybrid bindings"
+        )
+
+
+class PublicKeyCrypto(EndServerCryptoContext):
+    """Public-key infrastructure (§6.1): a directory of identity verifiers.
+
+    ``directory`` maps principals to their public-key verifiers (obtained
+    "from an authentication/name server").  The server's own private keys
+    open hybrid bindings.
+    """
+
+    def __init__(
+        self,
+        directory: Optional[Dict[PrincipalId, Verifier]] = None,
+        own_schnorr: Optional[_schnorr.SchnorrPrivateKey] = None,
+        own_rsa: Optional[KeyPair] = None,
+    ) -> None:
+        self._directory: Dict[PrincipalId, Verifier] = dict(directory or {})
+        self._own_schnorr = own_schnorr
+        self._own_rsa = own_rsa
+
+    def add_principal(self, principal: PrincipalId, verifier: Verifier) -> None:
+        self._directory[principal] = verifier
+
+    def remove_principal(self, principal: PrincipalId) -> None:
+        self._directory.pop(principal, None)
+
+    def grantor_verifier(self, grantor: PrincipalId) -> Verifier:
+        try:
+            return self._directory[grantor]
+        except KeyError:
+            raise ProxyVerificationError(
+                f"grantor {grantor} not in key directory"
+            ) from None
+
+    def unseal_root_key(self, grantor: PrincipalId, box: bytes) -> bytes:
+        raise ProxyVerificationError(
+            "public-key server holds no shared keys; use hybrid bindings"
+        )
+
+    def decrypt_hybrid(self, scheme: str, box: bytes) -> bytes:
+        try:
+            if scheme == "schnorr-ies":
+                if self._own_schnorr is None:
+                    raise ProxyVerificationError(
+                        "server has no Schnorr private key"
+                    )
+                return _schnorr.decrypt(self._own_schnorr, box)
+            if scheme == "rsa-oaep":
+                if self._own_rsa is None or not self._own_rsa.has_private:
+                    raise ProxyVerificationError(
+                        "server has no RSA private key"
+                    )
+                return _rsa.decrypt(self._own_rsa.require_private(), box)
+        except (CryptoError, IntegrityError) as exc:
+            raise ProxyVerificationError(
+                f"hybrid proxy key failed to open: {exc}"
+            ) from exc
+        raise ProxyVerificationError(f"unknown hybrid scheme {scheme!r}")
+
+
+# ---------------------------------------------------------------------------
+# Verification result
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class VerifiedProxy:
+    """Outcome of successful verification.
+
+    Attributes:
+        grantor: the root grantor — the principal whose rights the request
+            now proceeds under ("the operation is performed with the rights
+            of the grantor", §3.1).
+        claimant: authenticated presenter identity, if any.
+        audit_trail: identity-signed intermediates, in chain order (§3.4:
+            delegate cascade "leaves an audit trail").
+        expires_at: effective expiry (tightest link).
+        bearer: True when the final link was exercised by key possession.
+        chain_length: number of certificate links verified.
+    """
+
+    grantor: PrincipalId
+    claimant: Optional[PrincipalId]
+    audit_trail: Tuple[PrincipalId, ...]
+    expires_at: float
+    bearer: bool
+    chain_length: int
+
+
+#: What we track while walking the chain: either a symmetric proxy key
+#: (conventional) or a public-key verifier (public scheme).
+_PossessionMaterial = Union[bytes, Verifier]
+
+#: Restriction types an *issuing* server (authorization server, group
+#: server, TGS) evaluates when accepting a proxy it will re-issue from.
+#: Everything else is "to be interpreted by the end-server" (§7.5) and is
+#: propagated, not evaluated (§7.9).
+ISSUER_CHECKED_RESTRICTIONS = (Grantee, IssuedFor, Expiration, LimitRestriction)
+
+
+class ProxyVerifier:
+    """The end-server's verification engine.
+
+    Args:
+        server: this end-server's principal id.
+        crypto: key-resolution context (shared-key or public-key).
+        clock: injected time source.
+        max_skew: tolerated clock skew for issue times and possession
+            proofs, seconds.
+        freshness_window: how old a possession proof may be.
+        max_chain_length: upper bound on accepted cascade depth (defense
+            against resource-exhaustion chains).
+    """
+
+    def __init__(
+        self,
+        server: PrincipalId,
+        crypto: EndServerCryptoContext,
+        clock: Clock,
+        max_skew: float = 60.0,
+        freshness_window: float = 300.0,
+        max_chain_length: int = 32,
+    ) -> None:
+        self.server = server
+        self.crypto = crypto
+        self.clock = clock
+        self.max_skew = max_skew
+        self.freshness_window = freshness_window
+        self.max_chain_length = max_chain_length
+        self.accept_once = AcceptOnceRegistry(clock)
+        self.authenticators = AuthenticatorCache(clock, window=freshness_window)
+
+    # -- helpers ------------------------------------------------------------
+
+    def _possession_material(
+        self,
+        cert: ProxyCertificate,
+        index: int,
+        previous: Optional[_PossessionMaterial],
+    ) -> _PossessionMaterial:
+        """Extract the material needed to check signatures by this link's key."""
+        binding = cert.key_binding
+        if isinstance(binding, PublicKeyBinding):
+            if binding.scheme == "schnorr":
+                return SchnorrVerifier(
+                    public=_schnorr.SchnorrPublicKey.from_wire(binding.key_wire)
+                )
+            if binding.scheme == "rsa":
+                return RsaVerifier(
+                    public=_rsa.RsaPublicKey.from_wire(binding.key_wire)
+                )
+            raise ProxyVerificationError(
+                f"unknown public binding scheme {binding.scheme!r}"
+            )
+        if isinstance(binding, SealedKeyBinding):
+            if index == 0 or cert.link_kind == LINK_DELEGATE:
+                key = self.crypto.unseal_root_key(cert.grantor, binding.box)
+            else:
+                if not isinstance(previous, bytes):
+                    raise ProxyVerificationError(
+                        "sealed cascade link requires a symmetric previous key"
+                    )
+                try:
+                    key = _symmetric.unseal(previous, binding.box)
+                except IntegrityError as exc:
+                    raise ProxyVerificationError(
+                        f"cascaded proxy key failed to open: {exc}"
+                    ) from exc
+            fp = SymmetricKey(secret=key).fingerprint()
+            if fp != binding.fingerprint:
+                raise ProxyVerificationError(
+                    "sealed key fingerprint mismatch"
+                )
+            return key
+        if isinstance(binding, HybridKeyBinding):
+            if binding.server != self.server:
+                raise ProxyVerificationError(
+                    f"hybrid binding sealed for {binding.server}, "
+                    f"we are {self.server}"
+                )
+            key = self.crypto.decrypt_hybrid(binding.scheme, binding.box)
+            fp = SymmetricKey(secret=key).fingerprint()
+            if fp != binding.fingerprint:
+                raise ProxyVerificationError("hybrid key fingerprint mismatch")
+            return key
+        raise ProxyVerificationError(
+            f"unsupported key binding {type(binding).__name__}"
+        )
+
+    @staticmethod
+    def _verifier_from_material(material: _PossessionMaterial) -> Verifier:
+        if isinstance(material, bytes):
+            return HmacSigner(key=SymmetricKey(secret=material))
+        return material
+
+    def _check_link_times(self, cert: ProxyCertificate) -> None:
+        now = self.clock.now()
+        if cert.expires_at < now:
+            raise ProxyExpiredError(
+                f"certificate expired at {cert.expires_at}, now {now}"
+            )
+        if cert.issued_at > now + self.max_skew:
+            raise ProxyVerificationError(
+                f"certificate issued in the future ({cert.issued_at} > "
+                f"{now} + skew {self.max_skew})"
+            )
+
+    # -- the main entry point ------------------------------------------------
+
+    def verify(
+        self,
+        presented: PresentedProxy,
+        request: RequestContext,
+        expected_digest: Optional[bytes] = None,
+        issuer_mode: bool = False,
+    ) -> VerifiedProxy:
+        """Verify a presentation against a request; raise on any failure.
+
+        ``request`` should carry the operation, target, amounts, supporting
+        groups, etc.; this method fills in the per-link fields and the
+        server/time/replay plumbing.  When ``expected_digest`` is given the
+        possession proof must be bound to exactly that request digest.
+
+        ``issuer_mode`` is for servers that accept proxies in order to issue
+        new ones (authorization servers, group servers, the TGS): only
+        issuer-relevant restrictions (grantee, issued-for, expiration) are
+        evaluated; end-server-interpreted restrictions are left for the
+        issuer to *propagate* (§7.9).
+        """
+        from dataclasses import replace as _replace
+
+        request = _replace(
+            request,
+            server=self.server,
+            time=self.clock.now(),
+            replay_registry=self.accept_once,
+        )
+        certs = presented.certificates
+        if not certs:
+            raise ProxyVerificationError("empty certificate chain")
+        if len(certs) > self.max_chain_length:
+            raise ProxyVerificationError(
+                f"chain length {len(certs)} exceeds limit "
+                f"{self.max_chain_length}"
+            )
+        if certs[0].link_kind != LINK_ROOT:
+            raise ProxyVerificationError("chain must start with a root link")
+
+        # Stage 1+2: signatures, walking possession material along the chain.
+        materials: list = []
+        audit_trail: list = []
+        previous: Optional[_PossessionMaterial] = None
+        for index, cert in enumerate(certs):
+            self._check_link_times(cert)
+            if index == 0:
+                verifier = self.crypto.grantor_verifier(cert.grantor)
+            elif cert.link_kind == LINK_CASCADE:
+                verifier = self._verifier_from_material(materials[index - 1])
+            elif cert.link_kind == LINK_DELEGATE:
+                verifier = self.crypto.grantor_verifier(cert.grantor)
+                audit_trail.append(cert.grantor)
+            else:
+                raise ProxyVerificationError(
+                    f"link {index} has kind {cert.link_kind!r}"
+                )
+            try:
+                verifier.verify(cert.body_bytes(), cert.signature)
+            except SignatureError as exc:
+                raise ProxyVerificationError(
+                    f"signature of link {index} invalid: {exc}"
+                ) from exc
+            previous = self._possession_material(cert, index, previous)
+            materials.append(previous)
+
+        # Stage 3+4: how is the final link exercised?
+        final = certs[-1]
+        bearer_use = presented.proof is not None
+        if bearer_use:
+            self._verify_possession_proof(presented, materials[-1])
+            if (
+                expected_digest is not None
+                and presented.proof.digest != expected_digest
+            ):
+                raise ProxyVerificationError(
+                    "possession proof bound to a different request"
+                )
+        # The claimant must come from the *trusted* request context (set by
+        # the server's session layer after authenticating the peer), never
+        # from the attacker-controlled wire form.
+        claimant = request.claimant
+        final_exercisers: FrozenSet[PrincipalId] = (
+            frozenset({claimant}) if claimant is not None else frozenset()
+        )
+        if not bearer_use and claimant is None:
+            raise ProxyVerificationError(
+                "presentation has neither possession proof nor an "
+                "authenticated claimant"
+            )
+
+        # Stage 5: restriction evaluation, link by link.  The exercisers of
+        # link i are: the signer of link i+1 for delegate links, nobody for
+        # anonymous bearer cascades, and the final claimant for the last
+        # link.  A Grantee restriction on a link exercised anonymously
+        # therefore fails — exactly the §3.4 rule that delegate proxies
+        # cannot be cascaded by mere key possession.
+        expires_at = min(cert.expires_at for cert in certs)
+        for index, cert in enumerate(certs):
+            if index + 1 < len(certs):
+                next_cert = certs[index + 1]
+                if next_cert.link_kind == LINK_DELEGATE:
+                    exercisers: FrozenSet[PrincipalId] = frozenset(
+                        {next_cert.grantor}
+                    )
+                else:
+                    exercisers = frozenset()
+            else:
+                exercisers = final_exercisers
+            link_context = request.for_link(
+                grantor=cert.grantor,
+                exercisers=exercisers,
+                link_expires_at=cert.expires_at,
+            )
+            restrictions = cert.restrictions
+            if issuer_mode:
+                restrictions = tuple(
+                    r
+                    for r in restrictions
+                    if isinstance(r, ISSUER_CHECKED_RESTRICTIONS)
+                )
+            check_all(restrictions, link_context)
+
+        return VerifiedProxy(
+            grantor=certs[0].grantor,
+            claimant=claimant,
+            audit_trail=tuple(audit_trail),
+            expires_at=expires_at,
+            bearer=bearer_use,
+            chain_length=len(certs),
+        )
+
+    def _verify_possession_proof(
+        self, presented: PresentedProxy, material: _PossessionMaterial
+    ) -> None:
+        proof = presented.proof
+        assert proof is not None
+        if proof.server != self.server:
+            raise ProxyVerificationError(
+                f"possession proof made for {proof.server}, we are "
+                f"{self.server}"
+            )
+        now = self.clock.now()
+        if proof.timestamp > now + self.max_skew:
+            raise ProxyVerificationError("possession proof from the future")
+        if proof.timestamp < now - self.freshness_window:
+            raise ProxyVerificationError("possession proof too old")
+        verifier = self._verifier_from_material(material)
+        try:
+            verifier.verify(proof.body_bytes(), proof.signature)
+        except SignatureError as exc:
+            raise ProxyVerificationError(
+                f"possession proof invalid: {exc}"
+            ) from exc
+        if not self.authenticators.register(proof.replay_key()):
+            raise ReplayError("possession proof replayed")

@@ -1,0 +1,34 @@
+"""Cryptographic substrate built from scratch on the standard library.
+
+Everything the paper's mechanisms need from "existing authentication
+systems": random keys, prime generation, RSA signatures and encryption,
+Diffie–Hellman key agreement, authenticated symmetric encryption, and HMAC
+integrity seals — all behind the unified :class:`Signer`/:class:`Verifier`
+interface so the proxy core is agnostic to the mechanism (§6).
+"""
+
+from repro.crypto.keys import KeyPair, SymmetricKey
+from repro.crypto.rng import DEFAULT_RNG, Rng
+from repro.crypto.signature import (
+    HmacSigner,
+    RsaSigner,
+    RsaVerifier,
+    Signer,
+    Verifier,
+    signer_for_keypair,
+    signer_for_symmetric,
+)
+
+__all__ = [
+    "KeyPair",
+    "SymmetricKey",
+    "Rng",
+    "DEFAULT_RNG",
+    "Signer",
+    "Verifier",
+    "HmacSigner",
+    "RsaSigner",
+    "RsaVerifier",
+    "signer_for_keypair",
+    "signer_for_symmetric",
+]

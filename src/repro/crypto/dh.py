@@ -1,0 +1,92 @@
+"""Diffie–Hellman key agreement over a safe-prime group.
+
+Used by the network session layer to establish pairwise session keys when no
+KDC mediates the exchange (e.g. between accounting servers in different
+realms).  The default group is the 2048-bit MODP group from RFC 3526; a small
+test group is available for fast unit tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.rng import DEFAULT_RNG, Rng
+from repro.crypto.symmetric import KEY_LEN
+from repro.errors import CryptoError
+
+#: RFC 3526 group 14 (2048-bit MODP) prime.
+RFC3526_PRIME_2048 = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1"
+    "29024E088A67CC74020BBEA63B139B22514A08798E3404DD"
+    "EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245"
+    "E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D"
+    "C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F"
+    "83655D23DCA3AD961C62F356208552BB9ED529077096966D"
+    "670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9"
+    "DE2BCBF6955817183995497CEA956AE515D2261898FA0510"
+    "15728E5A8AACAA68FFFFFFFFFFFFFFFF",
+    16,
+)
+
+#: A small (512-bit) safe prime for fast tests; generated once with
+#: :func:`repro.crypto.primes.generate_safe_prime` (seed ``safe-prime-512``)
+#: and fixed here.
+TEST_PRIME_512 = int(
+    "FAD304E48D3AE4C94F32D880260DB0089FE4B26A35128A58"
+    "075E30E284F3CAAF65A5448ACE943F6A95F2F37562EAABB6"
+    "1BA0957963E489293105DFB2DD2DB9AB",
+    16,
+)
+
+
+@dataclass(frozen=True)
+class DhGroup:
+    """A Diffie–Hellman group (safe prime ``p``, generator ``g``)."""
+
+    p: int
+    g: int = 2
+
+    @property
+    def bit_length(self) -> int:
+        return self.p.bit_length()
+
+
+DEFAULT_GROUP = DhGroup(p=RFC3526_PRIME_2048)
+TEST_GROUP = DhGroup(p=TEST_PRIME_512)
+
+
+@dataclass(frozen=True)
+class DhKeyPair:
+    """An ephemeral DH keypair within a group."""
+
+    group: DhGroup
+    private: int
+    public: int
+
+
+def generate_keypair(group: DhGroup = DEFAULT_GROUP, rng: Optional[Rng] = None) -> DhKeyPair:
+    """Generate an ephemeral keypair in ``group``."""
+    rng = rng or DEFAULT_RNG
+    # Private exponents of 2*KEY_LEN bytes give a comfortable security margin
+    # for the simulated setting.
+    private = int.from_bytes(rng.bytes(2 * KEY_LEN), "big") % (group.p - 3) + 2
+    public = pow(group.g, private, group.p)
+    return DhKeyPair(group=group, private=private, public=public)
+
+
+def shared_key(own: DhKeyPair, peer_public: int) -> bytes:
+    """Derive the shared symmetric key from our keypair and the peer's public value.
+
+    Raises:
+        CryptoError: when the peer value is outside the valid range (a
+            classic small-subgroup attack vector).
+    """
+    if not 2 <= peer_public <= own.group.p - 2:
+        raise CryptoError("peer DH public value out of range")
+    secret = pow(peer_public, own.private, own.group.p)
+    material = secret.to_bytes((own.group.p.bit_length() + 7) // 8, "big")
+    return hashlib.sha256(b"dh-kdf:" + material).digest()[:KEY_LEN]

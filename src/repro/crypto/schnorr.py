@@ -1,0 +1,199 @@
+"""Schnorr signatures and integrated encryption over a safe-prime group.
+
+Public-key proxies (§6.1) need a fresh public/private keypair *per proxy*
+("the proxy key embedded in the proxy certificate is a public key from a
+public/private key pair").  RSA key generation costs two prime searches,
+which is prohibitive per-grant in pure Python; Schnorr key generation is a
+single modular exponentiation.  The library therefore offers Schnorr as the
+default public-key scheme for proxy keys, with RSA (:mod:`repro.crypto.rsa`)
+available wherever the grantor's long-term identity key is RSA.
+
+The group is the quadratic-residue subgroup of a safe prime ``p = 2q + 1``
+with generator ``g = 4`` (a square, hence a generator of the order-``q``
+subgroup).  Signatures are the standard Fiat–Shamir Schnorr scheme; the
+"integrated encryption" functions implement a DH/ElGamal KEM with the
+library's authenticated symmetric cipher, used to seal conventional proxy
+keys to an end-server (§6.1 hybrid scheme).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.crypto import symmetric
+from repro.crypto.dh import DEFAULT_GROUP, TEST_GROUP, DhGroup
+from repro.crypto.rng import DEFAULT_RNG, Rng
+from repro.errors import CryptoError, SignatureError
+
+_HASH = hashlib.sha256
+
+
+def _subgroup_order(group: DhGroup) -> int:
+    return (group.p - 1) // 2
+
+
+def _generator(group: DhGroup) -> int:
+    # 4 = 2**2 is always a quadratic residue, so it generates the order-q
+    # subgroup of a safe-prime group.
+    return 4
+
+
+@dataclass(frozen=True)
+class SchnorrPublicKey:
+    """Schnorr public key ``y = g**x mod p``."""
+
+    group_p: int
+    y: int
+
+    @property
+    def group(self) -> DhGroup:
+        return DhGroup(p=self.group_p)
+
+    def to_wire(self) -> dict:
+        return {"p": self.group_p, "y": self.y}
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "SchnorrPublicKey":
+        return cls(group_p=int(wire["p"]), y=int(wire["y"]))
+
+    def fingerprint(self) -> bytes:
+        material = b"%d:%d" % (self.group_p, self.y)
+        return _HASH(b"schnorr-fp:" + material).digest()[:16]
+
+
+@dataclass(frozen=True)
+class SchnorrPrivateKey:
+    """Schnorr private key ``x`` with its public half."""
+
+    group_p: int
+    x: int = field(repr=False)
+    y: int
+
+    @property
+    def public(self) -> SchnorrPublicKey:
+        return SchnorrPublicKey(group_p=self.group_p, y=self.y)
+
+
+def generate_keypair(
+    group: DhGroup = DEFAULT_GROUP, rng: Optional[Rng] = None
+) -> SchnorrPrivateKey:
+    """Generate a Schnorr keypair (one modexp; cheap enough per proxy)."""
+    rng = rng or DEFAULT_RNG
+    q = _subgroup_order(group)
+    x = rng.int_below(q - 1) + 1
+    y = pow(_generator(group), x, group.p)
+    return SchnorrPrivateKey(group_p=group.p, x=x, y=y)
+
+
+def _challenge(group: DhGroup, r: int, y: int, message: bytes) -> int:
+    q = _subgroup_order(group)
+    plen = (group.p.bit_length() + 7) // 8
+    digest = _HASH(
+        b"schnorr:" + r.to_bytes(plen, "big") + y.to_bytes(plen, "big") + message
+    ).digest()
+    return int.from_bytes(digest, "big") % q
+
+
+def sign(
+    key: SchnorrPrivateKey, message: bytes, rng: Optional[Rng] = None
+) -> bytes:
+    """Produce a Schnorr signature (e, s) over ``message``."""
+    rng = rng or DEFAULT_RNG
+    group = DhGroup(p=key.group_p)
+    q = _subgroup_order(group)
+    k = rng.int_below(q - 1) + 1
+    r = pow(_generator(group), k, group.p)
+    e = _challenge(group, r, key.y, message)
+    s = (k + key.x * e) % q
+    qlen = (q.bit_length() + 7) // 8
+    return e.to_bytes(qlen, "big") + s.to_bytes(qlen, "big")
+
+
+def verify(key: SchnorrPublicKey, message: bytes, signature: bytes) -> None:
+    """Verify a Schnorr signature.
+
+    Raises:
+        SignatureError: when the signature does not verify.
+    """
+    group = key.group
+    q = _subgroup_order(group)
+    qlen = (q.bit_length() + 7) // 8
+    if len(signature) != 2 * qlen:
+        raise SignatureError("schnorr signature has wrong length")
+    e = int.from_bytes(signature[:qlen], "big")
+    s = int.from_bytes(signature[qlen:], "big")
+    if not (0 <= e < q and 0 <= s < q):
+        raise SignatureError("schnorr signature values out of range")
+    # r' = g**s * y**(-e) = g**(k + x e) * y**(-e)
+    g = _generator(group)
+    r_prime = (
+        pow(g, s, group.p) * pow(key.y, q - e, group.p)
+    ) % group.p
+    if _challenge(group, r_prime, key.y, message) != e:
+        raise SignatureError("schnorr signature verification failed")
+
+
+# ---------------------------------------------------------------------------
+# Integrated encryption (DH KEM + authenticated symmetric cipher)
+# ---------------------------------------------------------------------------
+
+def encrypt_to(
+    key: SchnorrPublicKey, plaintext: bytes, rng: Optional[Rng] = None
+) -> bytes:
+    """Encrypt ``plaintext`` so only the private-key holder can read it.
+
+    Ephemeral-static Diffie–Hellman against ``y``, then authenticated
+    symmetric encryption under the derived key.  Wire form::
+
+        ephemeral_public (plen bytes) || sealed box
+    """
+    rng = rng or DEFAULT_RNG
+    group = key.group
+    q = _subgroup_order(group)
+    k = rng.int_below(q - 1) + 1
+    ephemeral = pow(_generator(group), k, group.p)
+    shared = pow(key.y, k, group.p)
+    plen = (group.p.bit_length() + 7) // 8
+    sym = _HASH(b"ies-kdf:" + shared.to_bytes(plen, "big")).digest()[
+        : symmetric.KEY_LEN
+    ]
+    box = symmetric.seal(sym, plaintext, associated_data=b"schnorr-ies", rng=rng)
+    return ephemeral.to_bytes(plen, "big") + box
+
+
+def decrypt(key: SchnorrPrivateKey, ciphertext: bytes) -> bytes:
+    """Decrypt a box produced by :func:`encrypt_to`.
+
+    Raises:
+        CryptoError: on truncation or an out-of-range ephemeral value.
+        IntegrityError: when the authenticated box fails to open.
+    """
+    group = DhGroup(p=key.group_p)
+    plen = (group.p.bit_length() + 7) // 8
+    if len(ciphertext) < plen + symmetric.NONCE_LEN + symmetric.TAG_LEN:
+        raise CryptoError("IES ciphertext too short")
+    ephemeral = int.from_bytes(ciphertext[:plen], "big")
+    if not 2 <= ephemeral <= group.p - 2:
+        raise CryptoError("IES ephemeral value out of range")
+    shared = pow(ephemeral, key.x, group.p)
+    sym = _HASH(b"ies-kdf:" + shared.to_bytes(plen, "big")).digest()[
+        : symmetric.KEY_LEN
+    ]
+    return symmetric.unseal(
+        sym, ciphertext[plen:], associated_data=b"schnorr-ies"
+    )
+
+
+__all__ = [
+    "SchnorrPublicKey",
+    "SchnorrPrivateKey",
+    "generate_keypair",
+    "sign",
+    "verify",
+    "encrypt_to",
+    "decrypt",
+    "DEFAULT_GROUP",
+    "TEST_GROUP",
+]

@@ -1,0 +1,146 @@
+"""Unified signing interface over conventional and public-key cryptography.
+
+The paper's central implementation claim (§6) is that restricted proxies
+layer over *existing* authentication mechanisms, whether conventional
+(Kerberos, §6.2) or public-key (§6.1).  The proxy core therefore signs and
+verifies through this interface and never mentions HMAC or RSA directly:
+
+* :class:`HmacSigner` — "conventional signature": an integrity seal under a
+  shared key.  Anyone holding the key can both create and verify; this is the
+  trust model of a proxy key or a Kerberos session key.
+* :class:`RsaSigner` / :class:`RsaVerifier` — true public-key signatures,
+  verification requires only the public half.
+
+Signatures are produced over canonical encodings; callers pass the bytes.
+Each signature is tagged with a scheme byte so a signature made under one
+scheme can never verify under another.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.crypto import mac as _mac
+from repro.crypto import rsa as _rsa
+from repro.crypto import schnorr as _schnorr
+from repro.crypto.keys import KeyPair, SymmetricKey
+from repro.errors import SignatureError
+
+_SCHEME_HMAC = b"\x01"
+_SCHEME_RSA = b"\x02"
+_SCHEME_SCHNORR = b"\x03"
+
+
+class Verifier(ABC):
+    """Anything able to check a signature."""
+
+    @abstractmethod
+    def verify(self, message: bytes, signature: bytes) -> None:
+        """Raise :class:`SignatureError` unless ``signature`` is valid."""
+
+    @abstractmethod
+    def key_id(self) -> bytes:
+        """Stable identifier of the verification key."""
+
+
+class Signer(Verifier):
+    """Anything able to create (and therefore also check) a signature."""
+
+    @abstractmethod
+    def sign(self, message: bytes) -> bytes:
+        """Produce a signature over ``message``."""
+
+
+@dataclass(frozen=True)
+class HmacSigner(Signer):
+    """Conventional-cryptography signer (shared-key integrity seal)."""
+
+    key: SymmetricKey
+
+    def sign(self, message: bytes) -> bytes:
+        return _SCHEME_HMAC + _mac.tag(self.key.secret, message)
+
+    def verify(self, message: bytes, signature: bytes) -> None:
+        if not signature.startswith(_SCHEME_HMAC):
+            raise SignatureError("not an HMAC signature")
+        _mac.verify(self.key.secret, message, signature[1:])
+
+    def key_id(self) -> bytes:
+        return self.key.fingerprint()
+
+
+@dataclass(frozen=True)
+class RsaVerifier(Verifier):
+    """Public-key verifier; holds only the public half."""
+
+    public: _rsa.RsaPublicKey
+
+    def verify(self, message: bytes, signature: bytes) -> None:
+        if not signature.startswith(_SCHEME_RSA):
+            raise SignatureError("not an RSA signature")
+        _rsa.verify(self.public, message, signature[1:])
+
+    def key_id(self) -> bytes:
+        return self.public.fingerprint()
+
+
+@dataclass(frozen=True)
+class RsaSigner(RsaVerifier, Signer):
+    """Public-key signer; holds the full keypair."""
+
+    keypair: KeyPair = None  # type: ignore[assignment]
+
+    def __init__(self, keypair: KeyPair) -> None:
+        object.__setattr__(self, "keypair", keypair)
+        object.__setattr__(self, "public", keypair.public)
+
+    def sign(self, message: bytes) -> bytes:
+        return _SCHEME_RSA + _rsa.sign(self.keypair.require_private(), message)
+
+    def verifier(self) -> RsaVerifier:
+        """The public-only verifier for this signer."""
+        return RsaVerifier(public=self.public)
+
+
+@dataclass(frozen=True)
+class SchnorrVerifier(Verifier):
+    """Public-key verifier for Schnorr signatures (cheap per-proxy keys)."""
+
+    public: _schnorr.SchnorrPublicKey
+
+    def verify(self, message: bytes, signature: bytes) -> None:
+        if not signature.startswith(_SCHEME_SCHNORR):
+            raise SignatureError("not a Schnorr signature")
+        _schnorr.verify(self.public, message, signature[1:])
+
+    def key_id(self) -> bytes:
+        return self.public.fingerprint()
+
+
+@dataclass(frozen=True)
+class SchnorrSigner(SchnorrVerifier, Signer):
+    """Public-key signer holding a Schnorr private key."""
+
+    private: _schnorr.SchnorrPrivateKey = None  # type: ignore[assignment]
+
+    def __init__(self, private: _schnorr.SchnorrPrivateKey) -> None:
+        object.__setattr__(self, "private", private)
+        object.__setattr__(self, "public", private.public)
+
+    def sign(self, message: bytes) -> bytes:
+        return _SCHEME_SCHNORR + _schnorr.sign(self.private, message)
+
+    def verifier(self) -> SchnorrVerifier:
+        """The public-only verifier for this signer."""
+        return SchnorrVerifier(public=self.public)
+
+
+def signer_for_symmetric(key: SymmetricKey) -> HmacSigner:
+    """Convenience: wrap a symmetric key as a conventional signer."""
+    return HmacSigner(key=key)
+
+
+def signer_for_keypair(keypair: KeyPair) -> RsaSigner:
+    """Convenience: wrap an RSA keypair as a public-key signer."""
+    return RsaSigner(keypair=keypair)

@@ -1,0 +1,6 @@
+"""Canonical encoding and global naming."""
+
+from repro.encoding.canonical import decode, encode
+from repro.encoding.identifiers import AccountId, GroupId, PrincipalId
+
+__all__ = ["encode", "decode", "PrincipalId", "GroupId", "AccountId"]

@@ -1,0 +1,171 @@
+"""Canonical, injective serialization for signed material.
+
+Every byte string that is signed or MACed in this library is produced by
+:func:`encode`.  The encoding is a small deterministic tag-length-value (TLV)
+scheme with the two properties signatures require:
+
+* **Canonical** — a given value has exactly one encoding, so signer and
+  verifier always agree on the bytes.
+* **Injective** — distinct values have distinct encodings, so a signature
+  over one value can never be replayed as a signature over another
+  (no ``("ab","c")`` / ``("a","bc")`` ambiguity).
+
+Supported value types (closed set, on purpose):
+
+====== =========================================
+tag    Python type
+====== =========================================
+``N``  ``None``
+``F``  ``bool`` (``F\\x00`` false / ``F\\x01`` true)
+``I``  ``int`` (arbitrary precision, signed)
+``D``  ``float`` (IEEE-754 big-endian, +inf allowed for NEVER)
+``B``  ``bytes``
+``S``  ``str`` (UTF-8)
+``L``  ``list``/``tuple`` (encoded as list)
+``M``  ``dict`` with ``str`` keys (sorted by key)
+====== =========================================
+
+Lengths are encoded as 4-byte big-endian unsigned integers, which bounds any
+single field at 4 GiB — far beyond anything a proxy certificate carries.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import Any
+
+from repro.errors import DecodingError, EncodingError
+
+_LEN = struct.Struct(">I")
+_F64 = struct.Struct(">d")
+
+
+def _frame(tag: bytes, payload: bytes) -> bytes:
+    return tag + _LEN.pack(len(payload)) + payload
+
+
+def encode(value: Any) -> bytes:
+    """Canonically encode ``value`` into bytes.
+
+    Raises:
+        EncodingError: if the value (or any nested element) is of an
+            unsupported type, or a dict has non-string keys.
+    """
+    if value is None:
+        return _frame(b"N", b"")
+    # bool must be tested before int (bool is a subclass of int).
+    if isinstance(value, bool):
+        return _frame(b"F", b"\x01" if value else b"\x00")
+    if isinstance(value, int):
+        length = (value.bit_length() + 8) // 8 or 1
+        return _frame(b"I", value.to_bytes(length, "big", signed=True))
+    if isinstance(value, float):
+        if math.isnan(value):
+            raise EncodingError("NaN has no canonical encoding")
+        return _frame(b"D", _F64.pack(value))
+    if isinstance(value, bytes):
+        return _frame(b"B", value)
+    if isinstance(value, str):
+        return _frame(b"S", value.encode("utf-8"))
+    if isinstance(value, (list, tuple)):
+        payload = b"".join(encode(item) for item in value)
+        return _frame(b"L", payload)
+    if isinstance(value, dict):
+        parts = []
+        for key in sorted(value):
+            if not isinstance(key, str):
+                raise EncodingError(
+                    f"dict keys must be str, got {type(key).__name__}"
+                )
+            parts.append(encode(key))
+            parts.append(encode(value[key]))
+        return _frame(b"M", b"".join(parts))
+    raise EncodingError(f"unsupported type: {type(value).__name__}")
+
+
+def decode(data: bytes) -> Any:
+    """Decode a byte string produced by :func:`encode`.
+
+    Raises:
+        DecodingError: on truncation, trailing garbage, unknown tags, or
+            non-canonical integer encodings.
+    """
+    value, consumed = _decode_one(data, 0)
+    if consumed != len(data):
+        raise DecodingError(
+            f"trailing garbage: {len(data) - consumed} bytes after value"
+        )
+    return value
+
+
+def _decode_one(data: bytes, offset: int) -> tuple:
+    if offset + 5 > len(data):
+        raise DecodingError("truncated TLV header")
+    tag = data[offset : offset + 1]
+    (length,) = _LEN.unpack_from(data, offset + 1)
+    start = offset + 5
+    end = start + length
+    if end > len(data):
+        raise DecodingError("truncated TLV payload")
+    payload = data[start:end]
+
+    if tag == b"N":
+        if payload:
+            raise DecodingError("None payload must be empty")
+        return None, end
+    if tag == b"F":
+        if payload not in (b"\x00", b"\x01"):
+            raise DecodingError("bool payload must be 00 or 01")
+        return payload == b"\x01", end
+    if tag == b"I":
+        if not payload:
+            raise DecodingError("int payload must be non-empty")
+        value = int.from_bytes(payload, "big", signed=True)
+        # Reject non-minimal encodings so decoding is injective too.
+        minimal = (value.bit_length() + 8) // 8 or 1
+        if len(payload) != minimal:
+            raise DecodingError("non-canonical int encoding")
+        return value, end
+    if tag == b"D":
+        if len(payload) != 8:
+            raise DecodingError("float payload must be 8 bytes")
+        (value,) = _F64.unpack(payload)
+        if math.isnan(value):
+            raise DecodingError("NaN is not a canonical value")
+        return value, end
+    if tag == b"B":
+        return payload, end
+    if tag == b"S":
+        try:
+            return payload.decode("utf-8"), end
+        except UnicodeDecodeError as exc:
+            raise DecodingError(f"invalid UTF-8 in string: {exc}") from exc
+    if tag == b"L":
+        items = []
+        pos = start
+        while pos < end:
+            item, pos = _decode_one(data, pos)
+            items.append(item)
+        if pos != end:
+            raise DecodingError("list payload overran its length")
+        return items, end
+    if tag == b"M":
+        result = {}
+        pos = start
+        previous_key = None
+        while pos < end:
+            key, pos = _decode_one(data, pos)
+            if not isinstance(key, str):
+                raise DecodingError("dict key must decode to str")
+            if previous_key is not None and key <= previous_key:
+                raise DecodingError("dict keys not in canonical sorted order")
+            if pos >= end:
+                raise DecodingError("dict key without value")
+            value, pos = _decode_one(data, pos)
+            result[key] = value
+            previous_key = key
+        if pos != end:
+            raise DecodingError("dict payload overran its length")
+        return result, end
+    raise DecodingError(f"unknown tag {tag!r}")

@@ -1,0 +1,122 @@
+"""Global naming for principals, servers, groups, and accounts.
+
+The paper composes global names out of (server, local-name) pairs:
+
+* §3.3 — "a global name of a group is composed of the name of the group
+  server, and the name of the group on that server."
+* §4  — "Accounts are identified as the composition of the principal
+  identifier for the accounting server and the name of the account."
+
+A :class:`PrincipalId` names any principal: a user, a host, or a service
+(servers are principals too — they authenticate, grant proxies, and appear on
+ACLs).  :class:`GroupId` and :class:`AccountId` are the composed global names.
+
+All identifier types are frozen dataclasses so they are hashable, usable as
+dict keys, and trivially encodable by :mod:`repro.encoding.canonical` via
+:meth:`to_wire` / :meth:`from_wire`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DecodingError
+
+#: Separator in the human-readable rendering ``name@realm``.
+_REALM_SEP = "@"
+#: Separator in composed names ``server-principal!local-name``.
+_COMPOSE_SEP = "!"
+
+
+def _check_component(component: str, what: str) -> None:
+    if not component:
+        raise ValueError(f"{what} must be non-empty")
+    if _REALM_SEP in component or _COMPOSE_SEP in component:
+        raise ValueError(
+            f"{what} may not contain {_REALM_SEP!r} or {_COMPOSE_SEP!r}: "
+            f"{component!r}"
+        )
+
+
+@dataclass(frozen=True, order=True)
+class PrincipalId:
+    """A globally-unique principal name, ``name`` within ``realm``.
+
+    Realms mirror Kerberos realms: an authentication domain with its own
+    key-distribution infrastructure.
+    """
+
+    name: str
+    realm: str = "REPRO.ORG"
+
+    def __post_init__(self) -> None:
+        _check_component(self.name, "principal name")
+        _check_component(self.realm, "realm")
+
+    def __str__(self) -> str:
+        return f"{self.name}{_REALM_SEP}{self.realm}"
+
+    def to_wire(self) -> str:
+        return str(self)
+
+    @classmethod
+    def from_wire(cls, wire: str) -> "PrincipalId":
+        name, sep, realm = wire.partition(_REALM_SEP)
+        if not sep or not name or not realm:
+            raise DecodingError(f"malformed principal id: {wire!r}")
+        return cls(name=name, realm=realm)
+
+    @classmethod
+    def parse(cls, text: str) -> "PrincipalId":
+        """Parse ``name@realm`` or bare ``name`` (default realm)."""
+        if _REALM_SEP in text:
+            return cls.from_wire(text)
+        return cls(name=text)
+
+
+@dataclass(frozen=True, order=True)
+class GroupId:
+    """Global group name: (group server principal, local group name) — §3.3."""
+
+    server: PrincipalId
+    group: str
+
+    def __post_init__(self) -> None:
+        _check_component(self.group, "group name")
+
+    def __str__(self) -> str:
+        return f"{self.server}{_COMPOSE_SEP}{self.group}"
+
+    def to_wire(self) -> str:
+        return str(self)
+
+    @classmethod
+    def from_wire(cls, wire: str) -> "GroupId":
+        server_part, sep, group = wire.partition(_COMPOSE_SEP)
+        if not sep or not group:
+            raise DecodingError(f"malformed group id: {wire!r}")
+        return cls(server=PrincipalId.from_wire(server_part), group=group)
+
+
+@dataclass(frozen=True, order=True)
+class AccountId:
+    """Global account name: (accounting server principal, account name) — §4."""
+
+    server: PrincipalId
+    account: str
+
+    def __post_init__(self) -> None:
+        _check_component(self.account, "account name")
+
+    def __str__(self) -> str:
+        return f"{self.server}{_COMPOSE_SEP}{self.account}"
+
+    def to_wire(self) -> str:
+        return str(self)
+
+    @classmethod
+    def from_wire(cls, wire: str) -> "AccountId":
+        server_part, sep, account = wire.partition(_COMPOSE_SEP)
+        if not sep or not account:
+            raise DecodingError(f"malformed account id: {wire!r}")
+        return cls(server=PrincipalId.from_wire(server_part), account=account)

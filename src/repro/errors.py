@@ -1,0 +1,162 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause.  The hierarchy
+mirrors the subsystems: encoding, cryptography, the proxy core, the Kerberos
+substrate, services, and the network simulator.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+# ---------------------------------------------------------------------------
+# Encoding
+# ---------------------------------------------------------------------------
+
+class EncodingError(ReproError):
+    """Failure to canonically encode or decode a value."""
+
+
+class DecodingError(EncodingError):
+    """The byte string is not a valid canonical encoding."""
+
+
+# ---------------------------------------------------------------------------
+# Cryptography
+# ---------------------------------------------------------------------------
+
+class CryptoError(ReproError):
+    """Base class for cryptographic failures."""
+
+
+class SignatureError(CryptoError):
+    """A signature failed to verify."""
+
+
+class IntegrityError(CryptoError):
+    """Authenticated decryption failed (ciphertext or tag tampered)."""
+
+
+class KeyError_(CryptoError):
+    """A key is malformed or of the wrong type for the operation.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`KeyError`.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Proxy core
+# ---------------------------------------------------------------------------
+
+class ProxyError(ReproError):
+    """Base class for proxy-related failures."""
+
+
+class RestrictionError(ProxyError):
+    """A restriction is malformed or violates additivity."""
+
+
+class RestrictionViolation(ProxyError):
+    """A request violates one of the restrictions carried by a proxy.
+
+    Attributes:
+        restriction_type: the type tag of the violated restriction.
+        detail: human-readable explanation.
+    """
+
+    def __init__(self, restriction_type: str, detail: str = "") -> None:
+        self.restriction_type = restriction_type
+        self.detail = detail
+        message = f"restriction violated: {restriction_type}"
+        if detail:
+            message = f"{message} ({detail})"
+        super().__init__(message)
+
+
+class ProxyVerificationError(ProxyError):
+    """A proxy (or proxy chain) failed verification at the end-server."""
+
+
+class ProxyExpiredError(ProxyVerificationError):
+    """The proxy's expiration time has passed."""
+
+
+class ReplayError(ProxyError):
+    """An accept-once identifier or authenticator was presented twice."""
+
+
+class DelegationError(ProxyError):
+    """An attempt to cascade or delegate a proxy was invalid."""
+
+
+# ---------------------------------------------------------------------------
+# Kerberos substrate
+# ---------------------------------------------------------------------------
+
+class KerberosError(ReproError):
+    """Base class for Kerberos substrate failures."""
+
+
+class TicketError(KerberosError):
+    """A ticket is invalid, expired, or not decryptable by this server."""
+
+
+class AuthenticatorError(KerberosError):
+    """An authenticator failed validation (skew, replay, or key mismatch)."""
+
+
+class UnknownPrincipalError(KerberosError):
+    """The KDC has no entry for the named principal."""
+
+
+# ---------------------------------------------------------------------------
+# Services
+# ---------------------------------------------------------------------------
+
+class ServiceError(ReproError):
+    """Base class for service-level failures."""
+
+
+class AuthorizationDenied(ServiceError):
+    """The end-server's policy denied the request."""
+
+
+class AccountingError(ServiceError):
+    """Base class for accounting failures."""
+
+
+class UnknownAccountError(AccountingError):
+    """No account with the given name exists on the accounting server."""
+
+
+class InsufficientFundsError(AccountingError):
+    """The account balance does not cover the requested transfer or hold."""
+
+
+class DuplicateCheckError(AccountingError):
+    """A check with a previously-seen number was presented again (§4)."""
+
+
+class CheckError(AccountingError):
+    """A check is malformed, misdrawn, or improperly endorsed."""
+
+
+# ---------------------------------------------------------------------------
+# Network simulator
+# ---------------------------------------------------------------------------
+
+class NetworkError(ReproError):
+    """Base class for simulated-network failures."""
+
+
+class UnknownEndpointError(NetworkError):
+    """No endpoint is registered under the destination name."""
+
+
+class MessageDroppedError(NetworkError):
+    """The fault injector dropped the message."""

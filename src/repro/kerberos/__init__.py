@@ -1,0 +1,47 @@
+"""Kerberos V5-shaped authentication substrate with restricted-proxy support (§6.2)."""
+
+from repro.kerberos.client import KerberosClient
+from repro.kerberos.database import PrincipalDatabase
+from repro.kerberos.kdc import (
+    DEFAULT_LIFETIME,
+    KeyDistributionCenter,
+    cross_realm_principal,
+    federate,
+    kdc_principal,
+    tgs_principal,
+)
+from repro.kerberos.proxy_support import (
+    KerberosProxy,
+    KerberosProxyAcceptor,
+    grant_via_credentials,
+)
+from repro.kerberos.session import ApAcceptor, Session, make_ap_request
+from repro.kerberos.ticket import (
+    Authenticator,
+    AuthenticatorBody,
+    Credentials,
+    Ticket,
+    TicketBody,
+)
+
+__all__ = [
+    "PrincipalDatabase",
+    "KeyDistributionCenter",
+    "kdc_principal",
+    "tgs_principal",
+    "cross_realm_principal",
+    "federate",
+    "DEFAULT_LIFETIME",
+    "KerberosClient",
+    "Ticket",
+    "TicketBody",
+    "Authenticator",
+    "AuthenticatorBody",
+    "Credentials",
+    "ApAcceptor",
+    "Session",
+    "make_ap_request",
+    "KerberosProxy",
+    "KerberosProxyAcceptor",
+    "grant_via_credentials",
+]

@@ -1,0 +1,286 @@
+"""The client-side Kerberos agent (a ``kinit``-plus-credential-cache).
+
+Holds a principal's long-term key, performs AS and TGS exchanges over the
+simulated network, caches credentials per server, and supports the TGS
+proxy exchange of §6.3 (obtaining service tickets on the strength of a
+proxy for the ticket-granting service).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.clock import Clock
+from repro.core.presentation import present
+from repro.core.proxy import Proxy
+from repro.core.restrictions import (
+    Restriction,
+    restrictions_from_wire,
+)
+from repro.crypto import symmetric as _symmetric
+from repro.crypto.keys import SymmetricKey
+from repro.crypto.rng import DEFAULT_RNG, Rng
+from repro.encoding.canonical import decode
+from repro.encoding.identifiers import PrincipalId
+from repro.errors import IntegrityError, KerberosError
+from repro.kerberos.kdc import (
+    cross_realm_principal,
+    kdc_principal,
+    tgs_principal,
+)
+from repro.kerberos.session import make_ap_request
+from repro.kerberos.ticket import Credentials, Ticket
+from repro.net.message import raise_if_error
+from repro.net.network import Network
+
+_AS_REPLY_AD = b"krb-as-reply"
+_TGS_REPLY_AD = b"krb-tgs-reply"
+
+
+class KerberosClient:
+    """A principal's credential manager."""
+
+    def __init__(
+        self,
+        principal: PrincipalId,
+        secret_key: SymmetricKey,
+        network: Network,
+        clock: Clock,
+        rng: Optional[Rng] = None,
+    ) -> None:
+        self.principal = principal
+        self._secret_key = secret_key
+        self.network = network
+        self.clock = clock
+        self._rng = rng or DEFAULT_RNG
+        self._kdc = kdc_principal(principal.realm)
+        self._tgs = tgs_principal(principal.realm)
+        self.tgt: Optional[Credentials] = None
+        self._cache: Dict[PrincipalId, Credentials] = {}
+        #: Cross-realm TGTs by remote realm name.
+        self._cross_tgts: Dict[str, Credentials] = {}
+
+    # ------------------------------------------------------------------
+
+    def _call_kdc(self, msg_type: str, payload: dict) -> dict:
+        response = self.network.send(
+            self.principal, self._kdc, msg_type, payload
+        )
+        return raise_if_error(response)
+
+    def login(
+        self,
+        till: Optional[float] = None,
+        authorization_data: Tuple[Restriction, ...] = (),
+    ) -> Credentials:
+        """AS exchange: obtain (and cache) a TGT.
+
+        ``authorization_data`` restricts the TGT itself — §6.3's observation
+        that initial authentication is the granting of a proxy.
+        """
+        from repro.core.restrictions import restrictions_to_wire
+
+        reply = self._call_kdc(
+            "as-request",
+            {
+                "client": self.principal.to_wire(),
+                "till": till,
+                "authorization_data": restrictions_to_wire(
+                    tuple(authorization_data)
+                ),
+                "nonce": int.from_bytes(self._rng.bytes(4), "big"),
+            },
+        )
+        try:
+            enc = decode(
+                _symmetric.unseal(
+                    self._secret_key.secret,
+                    reply["enc_part"],
+                    associated_data=_AS_REPLY_AD,
+                )
+            )
+        except IntegrityError as exc:
+            raise KerberosError(f"AS reply failed to open: {exc}") from exc
+        self.tgt = Credentials(
+            ticket=Ticket.from_wire(reply["ticket"]),
+            session_key=SymmetricKey(secret=enc["session_key"]),
+            client=self.principal,
+            expires_at=float(enc["expires_at"]),
+            authorization_data=tuple(authorization_data),
+        )
+        return self.tgt
+
+    def _tgs_exchange(
+        self,
+        kdc: PrincipalId,
+        tgt: Credentials,
+        server: PrincipalId,
+        additional_restrictions: Tuple[Restriction, ...],
+        till: Optional[float],
+    ) -> Credentials:
+        """One TGS exchange against ``kdc`` using ``tgt``."""
+        ap = make_ap_request(
+            tgt,
+            self.clock,
+            authorization_data=tuple(additional_restrictions),
+            rng=self._rng,
+        )
+        reply = raise_if_error(
+            self.network.send(
+                self.principal,
+                kdc,
+                "tgs-request",
+                {
+                    "ticket": ap["ticket"],
+                    "authenticator": ap["authenticator"],
+                    "server": server.to_wire(),
+                    "till": till,
+                    "nonce": int.from_bytes(self._rng.bytes(4), "big"),
+                },
+            )
+        )
+        try:
+            enc = decode(
+                _symmetric.unseal(
+                    tgt.session_key.secret,
+                    reply["enc_part"],
+                    associated_data=_TGS_REPLY_AD,
+                )
+            )
+        except IntegrityError as exc:
+            raise KerberosError(f"TGS reply failed to open: {exc}") from exc
+        return Credentials(
+            ticket=Ticket.from_wire(reply["ticket"]),
+            session_key=SymmetricKey(secret=enc["session_key"]),
+            client=self.principal,
+            expires_at=float(enc["expires_at"]),
+            authorization_data=restrictions_from_wire(
+                enc["authorization_data"]
+            ),
+        )
+
+    def _home_tgt(self) -> Credentials:
+        if self.tgt is None or self.tgt.expires_at <= self.clock.now():
+            self.login()
+        assert self.tgt is not None
+        return self.tgt
+
+    def _cross_realm_tgt(self, remote_realm: str) -> Credentials:
+        """Obtain (and cache) a cross-realm TGT toward ``remote_realm``."""
+        cached = self._cross_tgts.get(remote_realm)
+        if cached is not None and cached.expires_at > self.clock.now():
+            return cached
+        cross = self._tgs_exchange(
+            self._kdc,
+            self._home_tgt(),
+            cross_realm_principal(remote_realm, self.principal.realm),
+            (),
+            None,
+        )
+        self._cross_tgts[remote_realm] = cross
+        return cross
+
+    def get_ticket(
+        self,
+        server: PrincipalId,
+        additional_restrictions: Tuple[Restriction, ...] = (),
+        till: Optional[float] = None,
+        use_cache: bool = True,
+    ) -> Credentials:
+        """TGS exchange: obtain credentials for ``server``.
+
+        ``additional_restrictions`` ride in the authenticator's
+        authorization-data and are *added* to the TGT's own (§6.2).
+
+        Foreign servers (``server.realm != ours``) are reached through the
+        cross-realm path: a cross-realm TGT from the home KDC, then a TGS
+        exchange with the server's realm's KDC (requires federation —
+        :func:`repro.kerberos.kdc.federate`).
+        """
+        if (
+            use_cache
+            and not additional_restrictions
+            and server in self._cache
+            and self._cache[server].expires_at > self.clock.now()
+        ):
+            return self._cache[server]
+        if server.realm == self.principal.realm:
+            credentials = self._tgs_exchange(
+                self._kdc,
+                self._home_tgt(),
+                server,
+                additional_restrictions,
+                till,
+            )
+        else:
+            cross_tgt = self._cross_realm_tgt(server.realm)
+            credentials = self._tgs_exchange(
+                kdc_principal(server.realm),
+                cross_tgt,
+                server,
+                additional_restrictions,
+                till,
+            )
+        if not additional_restrictions:
+            self._cache[server] = credentials
+        return credentials
+
+    # ------------------------------------------------------------------
+    # §6.3: tickets via a TGS proxy
+    # ------------------------------------------------------------------
+
+    def redeem_tgs_proxy(
+        self,
+        grantor_ticket: Ticket,
+        proxy: Proxy,
+        server: PrincipalId,
+    ) -> Credentials:
+        """Obtain credentials for ``server`` using a proxy for the TGS.
+
+        ``proxy`` must be rooted in the grantor's TGT session key and
+        ``grantor_ticket`` is the grantor's TGT (handed over with the proxy
+        so the TGS can recover the signing key).  Returns credentials in the
+        *grantor's* name, restricted to this grantee, carrying the proxy's
+        restrictions — usable at ``server`` like any other proxy (§6.3).
+        """
+        presented = present(
+            proxy,
+            self._tgs,
+            self.clock.now(),
+            operation="obtain-ticket",
+            target=str(server),
+        )
+        reply = self._call_kdc(
+            "tgs-proxy-request",
+            {
+                "grantor_ticket": grantor_ticket.to_wire(),
+                "proxy": presented.to_wire(),
+                "grantee": self.principal.to_wire(),
+                "server": server.to_wire(),
+            },
+        )
+        if proxy.proxy_key is None or not isinstance(
+            proxy.proxy_key, SymmetricKey
+        ):
+            raise KerberosError("TGS proxies use symmetric proxy keys")
+        try:
+            enc = decode(
+                _symmetric.unseal(
+                    proxy.proxy_key.secret,
+                    reply["enc_part"],
+                    associated_data=_TGS_REPLY_AD,
+                )
+            )
+        except IntegrityError as exc:
+            raise KerberosError(
+                f"TGS proxy reply failed to open: {exc}"
+            ) from exc
+        return Credentials(
+            ticket=Ticket.from_wire(reply["ticket"]),
+            session_key=SymmetricKey(secret=enc["session_key"]),
+            client=proxy.grantor,
+            expires_at=float(enc["expires_at"]),
+            authorization_data=restrictions_from_wire(
+                enc["authorization_data"]
+            ),
+        )

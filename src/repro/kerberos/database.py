@@ -1,0 +1,54 @@
+"""The KDC's principal database.
+
+Maps each principal (users *and* servers — both are principals to Kerberos)
+to the long-term secret key it shares with the KDC.  Registration returns
+the generated key so test fixtures and the client agent can hold it; a real
+deployment would derive it from a password, which is out of scope for the
+mechanisms under study.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.crypto.keys import SymmetricKey
+from repro.crypto.rng import DEFAULT_RNG, Rng
+from repro.encoding.identifiers import PrincipalId
+from repro.errors import UnknownPrincipalError
+
+
+class PrincipalDatabase:
+    """Long-term keys for one realm."""
+
+    def __init__(self, realm: str = "REPRO.ORG", rng: Optional[Rng] = None) -> None:
+        self.realm = realm
+        self._rng = rng or DEFAULT_RNG
+        self._keys: Dict[PrincipalId, SymmetricKey] = {}
+
+    def register(
+        self, principal: PrincipalId, key: Optional[SymmetricKey] = None
+    ) -> SymmetricKey:
+        """Add a principal; returns its long-term key."""
+        if principal.realm != self.realm:
+            raise UnknownPrincipalError(
+                f"{principal} is not in realm {self.realm}"
+            )
+        if key is None:
+            key = SymmetricKey.generate(rng=self._rng)
+        self._keys[principal] = key
+        return key
+
+    def remove(self, principal: PrincipalId) -> None:
+        self._keys.pop(principal, None)
+
+    def key_of(self, principal: PrincipalId) -> SymmetricKey:
+        try:
+            return self._keys[principal]
+        except KeyError:
+            raise UnknownPrincipalError(str(principal)) from None
+
+    def knows(self, principal: PrincipalId) -> bool:
+        return principal in self._keys
+
+    def __len__(self) -> int:
+        return len(self._keys)

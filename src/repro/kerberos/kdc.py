@@ -1,0 +1,362 @@
+"""The Key Distribution Center: authentication server and ticket-granting server.
+
+Faithful to the V5 shape the paper relies on (§6.2):
+
+* **AS exchange** — a client authenticates with its long-term key and
+  receives a ticket-granting ticket (TGT).  "The initial authentication of
+  a user can itself be thought of as the granting of a proxy and
+  restrictions can be placed on the credentials based on the
+  characteristics of the initial exchange" (§6.3) — the AS request may carry
+  requested authorization-data, which is copied into the TGT.
+* **TGS exchange** — with a TGT, the client obtains tickets for end-servers.
+  "When new tickets are issued based on existing credentials, restrictions
+  may be added, but not removed": the TGS *concatenates* the TGT's
+  authorization-data with any additions in the request/authenticator.
+* **TGS proxy exchange** — §6.3: because a proxy can name the
+  ticket-granting service as its end-server, a grantee holding such a proxy
+  can obtain, from the TGS, tickets for further end-servers "with identical
+  restrictions", issued in the *grantor's* name.  This is what makes
+  conventional-crypto proxies usable at more than one end-server.
+
+The KDC never talks to end-servers: tickets are sealed under server keys and
+verified offline, which is precisely the property the Fig. 4 benchmark
+contrasts with Sollins-style online verification.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.clock import Clock
+from repro.core.certificate import ProxyCertificate
+from repro.core.presentation import PresentedProxy
+from repro.core.restrictions import (
+    Grantee,
+    Restriction,
+    restrictions_from_wire,
+    restrictions_to_wire,
+)
+from repro.core.verification import ProxyVerifier, SharedKeyCrypto
+from repro.core.evaluation import RequestContext
+from repro.crypto import symmetric as _symmetric
+from repro.crypto.keys import SymmetricKey
+from repro.crypto.rng import DEFAULT_RNG, Rng
+from repro.encoding.canonical import encode
+from repro.encoding.identifiers import PrincipalId
+from repro.errors import (
+    AuthenticatorError,
+    KerberosError,
+    TicketError,
+)
+from repro.kerberos.database import PrincipalDatabase
+from repro.kerberos.ticket import (
+    Authenticator,
+    AuthenticatorBody,
+    Ticket,
+    TicketBody,
+)
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.net.service import Service
+
+_AS_REPLY_AD = b"krb-as-reply"
+_TGS_REPLY_AD = b"krb-tgs-reply"
+
+#: Default ticket lifetime, seconds.
+DEFAULT_LIFETIME = 8 * 3600.0
+
+
+def tgs_principal(realm: str = "REPRO.ORG") -> PrincipalId:
+    """The well-known name of the ticket-granting service in a realm."""
+    return PrincipalId("krbtgt", realm)
+
+
+def kdc_principal(realm: str = "REPRO.ORG") -> PrincipalId:
+    """The well-known name of the KDC endpoint in a realm."""
+    return PrincipalId("kdc", realm)
+
+
+def cross_realm_principal(remote_realm: str, local_realm: str) -> PrincipalId:
+    """The inter-realm ticket-granting principal ``krbtgt.REMOTE@LOCAL``.
+
+    A ticket for this principal, issued by LOCAL's TGS, is a *cross-realm
+    TGT*: REMOTE's KDC shares its key and will accept it in a TGS exchange,
+    issuing service tickets to the (foreign) client it names.
+    """
+    return PrincipalId(f"krbtgt.{remote_realm}", local_realm)
+
+
+class KeyDistributionCenter(Service):
+    """AS + TGS behind one network endpoint (as deployments co-locate them)."""
+
+    def __init__(
+        self,
+        network: Network,
+        clock: Clock,
+        database: Optional[PrincipalDatabase] = None,
+        realm: str = "REPRO.ORG",
+        max_skew: float = 60.0,
+        rng: Optional[Rng] = None,
+    ) -> None:
+        super().__init__(kdc_principal(realm), network, clock)
+        self.realm = realm
+        self.max_skew = max_skew
+        self._rng = rng or DEFAULT_RNG
+        self.database = database or PrincipalDatabase(
+            realm=realm, rng=self._rng
+        )
+        # The TGS is itself a principal with a key, so TGTs are ordinary
+        # tickets sealed under it.
+        self.tgs = tgs_principal(realm)
+        if not self.database.knows(self.tgs):
+            self.database.register(self.tgs)
+        #: Inter-realm keys: cross-realm TGT principal -> shared key.
+        #: Tickets for these principals (issued by the *remote* realm's
+        #: TGS) are accepted by our TGS exchange.
+        self._cross_keys: Dict[PrincipalId, SymmetricKey] = {}
+
+    # ------------------------------------------------------------------
+    # AS exchange
+    # ------------------------------------------------------------------
+
+    def op_as_request(self, message: Message) -> dict:
+        """AS-REQ: {client, till?, authorization_data?} → TGT.
+
+        The reply's secret part is sealed under the client's long-term key;
+        possession of that key *is* the authentication.
+        """
+        payload = message.payload
+        client = PrincipalId.from_wire(payload["client"])
+        client_key = self.database.key_of(client)
+        now = self.clock.now()
+        till = float(payload.get("till") or now + DEFAULT_LIFETIME)
+        authdata = restrictions_from_wire(
+            payload.get("authorization_data") or []
+        )
+        session_key = SymmetricKey.generate(rng=self._rng)
+        body = TicketBody(
+            client=client,
+            server=self.tgs,
+            session_key=session_key,
+            auth_time=now,
+            expires_at=till,
+            authorization_data=authdata,
+        )
+        ticket = Ticket.seal(
+            body, self.database.key_of(self.tgs), rng=self._rng
+        )
+        enc_part = _symmetric.seal(
+            client_key.secret,
+            encode(
+                {
+                    "session_key": session_key.secret,
+                    "server": self.tgs.to_wire(),
+                    "expires_at": till,
+                    "nonce": payload.get("nonce", 0),
+                }
+            ),
+            associated_data=_AS_REPLY_AD,
+            rng=self._rng,
+        )
+        return {"ticket": ticket.to_wire(), "enc_part": enc_part}
+
+    # ------------------------------------------------------------------
+    # TGS exchange
+    # ------------------------------------------------------------------
+
+    def _validate_tgt(
+        self, ticket_wire: dict, authenticator_wire: dict
+    ) -> Tuple[TicketBody, AuthenticatorBody]:
+        ticket = Ticket.from_wire(ticket_wire)
+        if ticket.server == self.tgs:
+            key = self.database.key_of(self.tgs)
+        elif ticket.server in self._cross_keys:
+            # A cross-realm TGT issued by a federated realm's TGS.
+            key = self._cross_keys[ticket.server]
+        else:
+            raise TicketError("not a ticket-granting ticket")
+        body = ticket.open(key)
+        now = self.clock.now()
+        if body.expires_at < now:
+            raise TicketError("TGT expired")
+        auth = Authenticator.from_wire(authenticator_wire).open(
+            body.session_key
+        )
+        if auth.client != body.client:
+            raise AuthenticatorError("authenticator client mismatch")
+        if abs(auth.timestamp - now) > self.max_skew:
+            raise AuthenticatorError("authenticator outside skew window")
+        return body, auth
+
+    def op_tgs_request(self, message: Message) -> dict:
+        """TGS-REQ: TGT + authenticator + target server → service ticket.
+
+        Authorization-data is additive: the issued ticket carries the TGT's
+        restrictions plus any in the request's authenticator (§6.2).
+        """
+        payload = message.payload
+        tgt_body, auth = self._validate_tgt(
+            payload["ticket"], payload["authenticator"]
+        )
+        server = PrincipalId.from_wire(payload["server"])
+        server_key = self.database.key_of(server)
+        now = self.clock.now()
+        till = min(
+            float(payload.get("till") or tgt_body.expires_at),
+            tgt_body.expires_at,
+        )
+        authdata = tuple(tgt_body.authorization_data) + tuple(
+            auth.authorization_data
+        )
+        session_key = SymmetricKey.generate(rng=self._rng)
+        body = TicketBody(
+            client=tgt_body.client,
+            server=server,
+            session_key=session_key,
+            auth_time=tgt_body.auth_time,
+            expires_at=till,
+            authorization_data=authdata,
+        )
+        ticket = Ticket.seal(body, server_key, rng=self._rng)
+        enc_part = _symmetric.seal(
+            tgt_body.session_key.secret,
+            encode(
+                {
+                    "session_key": session_key.secret,
+                    "server": server.to_wire(),
+                    "expires_at": till,
+                    "authorization_data": restrictions_to_wire(authdata),
+                    "nonce": payload.get("nonce", 0),
+                }
+            ),
+            associated_data=_TGS_REPLY_AD,
+            rng=self._rng,
+        )
+        return {"ticket": ticket.to_wire(), "enc_part": enc_part}
+
+    # ------------------------------------------------------------------
+    # TGS proxy exchange (§6.3)
+    # ------------------------------------------------------------------
+
+    def op_tgs_proxy_request(self, message: Message) -> dict:
+        """Obtain a service ticket on the strength of a TGS proxy.
+
+        Request: the *grantor's* TGT (so the TGS can recover the session key
+        under which the proxy chain was signed), the proxy chain whose
+        root was signed with that session key, a possession proof made for
+        the TGS, the target server, and the grantee's name.
+
+        The issued ticket is in the grantor's name and carries the proxy's
+        restrictions plus a grantee restriction naming the requester — a
+        per-end-server proxy with identical restrictions (§6.3).
+        """
+        payload = message.payload
+        grantor_tgt = Ticket.from_wire(payload["grantor_ticket"])
+        if grantor_tgt.server != self.tgs:
+            raise TicketError("grantor ticket is not a TGT")
+        tgt_body = grantor_tgt.open(self.database.key_of(self.tgs))
+        if tgt_body.expires_at < self.clock.now():
+            raise TicketError("grantor TGT expired")
+
+        presented = PresentedProxy.from_wire(payload["proxy"])
+        # Verify the chain exactly as an end-server would, with the TGS in
+        # the role of end-server and the TGT session key as the shared key.
+        crypto = SharedKeyCrypto({tgt_body.client: tgt_body.session_key})
+        verifier = ProxyVerifier(
+            server=self.tgs,
+            crypto=crypto,
+            clock=self.clock,
+            max_skew=self.max_skew,
+        )
+        grantee = PrincipalId.from_wire(payload["grantee"])
+        verified = verifier.verify(
+            presented,
+            RequestContext(
+                server=self.tgs,
+                operation="obtain-ticket",
+                target=str(PrincipalId.from_wire(payload["server"])),
+            ),
+            issuer_mode=True,
+        )
+        if verified.grantor != tgt_body.client:
+            raise KerberosError("proxy grantor does not match TGT client")
+
+        server = PrincipalId.from_wire(payload["server"])
+        server_key = self.database.key_of(server)
+        now = self.clock.now()
+        till = min(verified.expires_at, tgt_body.expires_at)
+        # Identical restrictions (§6.3) plus the grantee pin.
+        carried: Tuple[Restriction, ...] = tuple(
+            r
+            for cert in presented.certificates
+            for r in cert.restrictions
+        )
+        authdata = carried + (Grantee(principals=(grantee,)),)
+        session_key = SymmetricKey.generate(rng=self._rng)
+        body = TicketBody(
+            client=tgt_body.client,
+            server=server,
+            session_key=session_key,
+            auth_time=now,
+            expires_at=till,
+            authorization_data=authdata,
+        )
+        ticket = Ticket.seal(body, server_key, rng=self._rng)
+        # The new session key goes back sealed under the proxy chain's
+        # final proxy key, which only the legitimate grantee holds.
+        proxy_key = _recover_chain_key(verifier, presented.certificates)
+        if not isinstance(proxy_key, bytes):
+            raise KerberosError(
+                "TGS proxies require conventional (symmetric) proxy keys"
+            )
+        enc_part = _symmetric.seal(
+            proxy_key,
+            encode(
+                {
+                    "session_key": session_key.secret,
+                    "server": server.to_wire(),
+                    "expires_at": till,
+                    "authorization_data": restrictions_to_wire(authdata),
+                }
+            ),
+            associated_data=_TGS_REPLY_AD,
+            rng=self._rng,
+        )
+        return {"ticket": ticket.to_wire(), "enc_part": enc_part}
+
+
+def _recover_chain_key(
+    verifier: ProxyVerifier, certs: Tuple[ProxyCertificate, ...]
+):
+    """Recover the possession material of the final link by walking the chain."""
+    previous = None
+    for index, cert in enumerate(certs):
+        previous = verifier._possession_material(cert, index, previous)
+    return previous
+
+
+def federate(
+    kdc_a: KeyDistributionCenter,
+    kdc_b: KeyDistributionCenter,
+    rng: Optional[Rng] = None,
+) -> None:
+    """Establish mutual cross-realm trust between two KDCs.
+
+    For each direction, an inter-realm key is shared: realm A's database
+    gains the principal ``krbtgt.B@A`` (so A's TGS can issue cross-realm
+    TGTs toward B), and realm B's KDC holds the same key to open them —
+    and vice versa.  After federation, a client of either realm can obtain
+    service tickets in the other via one extra TGS exchange, which is what
+    lets "clients and servers not previously known to one another" interact
+    (§1) without a global authentication authority.
+    """
+    rng = rng or DEFAULT_RNG
+    a_to_b = cross_realm_principal(kdc_b.realm, kdc_a.realm)
+    key_ab = SymmetricKey.generate(rng=rng)
+    kdc_a.database.register(a_to_b, key_ab)
+    kdc_b._cross_keys[a_to_b] = key_ab
+
+    b_to_a = cross_realm_principal(kdc_a.realm, kdc_b.realm)
+    key_ba = SymmetricKey.generate(rng=rng)
+    kdc_b.database.register(b_to_a, key_ba)
+    kdc_a._cross_keys[b_to_a] = key_ba

@@ -1,0 +1,23 @@
+"""Simulated network substrate: endpoints, metering, taps, fault injection."""
+
+from repro.net.eavesdropper import Eavesdropper
+from repro.net.message import (
+    Message,
+    encode_error,
+    is_error,
+    raise_if_error,
+)
+from repro.net.metrics import MetricsSnapshot, NetworkMetrics
+from repro.net.network import LatencyModel, Network
+
+__all__ = [
+    "Network",
+    "LatencyModel",
+    "Message",
+    "encode_error",
+    "is_error",
+    "raise_if_error",
+    "NetworkMetrics",
+    "MetricsSnapshot",
+    "Eavesdropper",
+]

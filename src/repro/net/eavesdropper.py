@@ -1,0 +1,74 @@
+"""A passive network attacker.
+
+§3.1's security claim for proxy-based capabilities: "an attacker can not
+obtain such a capability by tapping the network to observe the presentation
+of capabilities by legitimate users."  The eavesdropper records everything a
+tap can see and offers replay helpers, so tests and the C1 benchmark can
+*demonstrate* the claim against this implementation and its failure against
+the traditional-capability baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.encoding.identifiers import PrincipalId
+from repro.net.message import Message
+from repro.net.network import Network
+
+
+class Eavesdropper:
+    """Records all traffic passing a network tap; can replay it verbatim."""
+
+    def __init__(self, name: str = "mallory") -> None:
+        self.principal = PrincipalId(name)
+        self.captured: List[Message] = []
+
+    def tap(self) -> Callable[[Message], None]:
+        """The tap callable to register with :meth:`Network.add_tap`."""
+
+        def observe(message: Message) -> None:
+            self.captured.append(message)
+
+        return observe
+
+    def attach(self, network: Network) -> None:
+        network.add_tap(self.tap_callable())
+
+    def tap_callable(self) -> Callable[[Message], None]:
+        # Keep a single tap instance so it can be removed again.
+        if not hasattr(self, "_tap"):
+            self._tap = self.tap()
+        return self._tap
+
+    def detach(self, network: Network) -> None:
+        network.remove_tap(self.tap_callable())
+
+    # -- analysis -------------------------------------------------------------
+
+    def messages_of_type(self, msg_type: str) -> List[Message]:
+        return [m for m in self.captured if m.msg_type == msg_type]
+
+    def last_of_type(self, msg_type: str) -> Optional[Message]:
+        matches = self.messages_of_type(msg_type)
+        return matches[-1] if matches else None
+
+    # -- attacks ----------------------------------------------------------------
+
+    def replay(
+        self,
+        network: Network,
+        message: Message,
+        as_self: bool = True,
+    ) -> dict:
+        """Re-send a captured request, optionally under the attacker's name.
+
+        ``as_self=True`` models an attacker on their own host (source
+        address is theirs); ``False`` models source-address spoofing.
+        Returns the response payload — the test asserts whether the server
+        fell for it.
+        """
+        source = self.principal if as_self else message.source
+        return network.send(
+            source, message.destination, message.msg_type, message.payload
+        )

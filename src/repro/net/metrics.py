@@ -1,0 +1,95 @@
+"""Protocol-cost metering.
+
+Every benchmark claim in the paper is about *protocol shape* — how many
+messages, to whom, verified online or offline.  The network meters these so
+benchmarks measure rather than assert.  Counters are cheap plain ints; the
+snapshot/delta API lets a harness bracket exactly one protocol run::
+
+    before = network.metrics.snapshot()
+    ... run protocol ...
+    delta = network.metrics.delta_since(before)
+    assert delta.messages == 3           # Fig. 3: messages 1-3
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.encoding.identifiers import PrincipalId
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Immutable view of counters at one instant."""
+
+    messages: int
+    bytes: int
+    by_type: Dict[str, int]
+    by_pair: Dict[Tuple[str, str], int]
+    dropped: int
+
+    def delta(self, later: "MetricsSnapshot") -> "MetricsSnapshot":
+        return MetricsSnapshot(
+            messages=later.messages - self.messages,
+            bytes=later.bytes - self.bytes,
+            by_type={
+                k: v - self.by_type.get(k, 0)
+                for k, v in later.by_type.items()
+                if v - self.by_type.get(k, 0)
+            },
+            by_pair={
+                k: v - self.by_pair.get(k, 0)
+                for k, v in later.by_pair.items()
+                if v - self.by_pair.get(k, 0)
+            },
+            dropped=later.dropped - self.dropped,
+        )
+
+    def messages_to(self, destination: PrincipalId) -> int:
+        """Messages delivered to one principal (e.g. 'how often was the
+        authentication server consulted?')."""
+        dest = str(destination)
+        return sum(
+            count for (_, dst), count in self.by_pair.items() if dst == dest
+        )
+
+
+class NetworkMetrics:
+    """Mutable counters owned by a :class:`~repro.net.network.Network`."""
+
+    def __init__(self) -> None:
+        self.messages = 0
+        self.bytes = 0
+        self.dropped = 0
+        self.by_type: Counter = Counter()
+        self.by_pair: Counter = Counter()
+
+    def record(self, source: str, destination: str, msg_type: str, size: int) -> None:
+        self.messages += 1
+        self.bytes += size
+        self.by_type[msg_type] += 1
+        self.by_pair[(source, destination)] += 1
+
+    def record_drop(self) -> None:
+        self.dropped += 1
+
+    def snapshot(self) -> MetricsSnapshot:
+        return MetricsSnapshot(
+            messages=self.messages,
+            bytes=self.bytes,
+            by_type=dict(self.by_type),
+            by_pair=dict(self.by_pair),
+            dropped=self.dropped,
+        )
+
+    def delta_since(self, before: MetricsSnapshot) -> MetricsSnapshot:
+        return before.delta(self.snapshot())
+
+    def reset(self) -> None:
+        self.messages = 0
+        self.bytes = 0
+        self.dropped = 0
+        self.by_type.clear()
+        self.by_pair.clear()

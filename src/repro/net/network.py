@@ -1,0 +1,154 @@
+"""The simulated network.
+
+A synchronous, deterministic message-passing fabric:
+
+* **Endpoints** register under their principal id and expose a single
+  ``handle(message) -> payload`` callable (see
+  :class:`~repro.services.base.Service`).
+* **Delivery** is synchronous request/response — adequate for the paper's
+  protocols, all of which are RPC-shaped — and advances the injected
+  simulated clock by a sampled latency per hop, so protocol latency is a
+  measured consequence of message count.
+* **Taps** observe every message (the eavesdropper attacker of §3.1 is a
+  tap), seeing exactly the bytes a wire would carry.
+* **Fault injection** can drop requests by destination or probability, for
+  failure-path tests.
+
+All randomness (latency jitter, drops) comes from the injected
+:class:`~repro.crypto.rng.Rng`, so a seeded run is fully reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.clock import Clock, SimulatedClock
+from repro.crypto.rng import DEFAULT_RNG, Rng
+from repro.encoding.identifiers import PrincipalId
+from repro.errors import MessageDroppedError, UnknownEndpointError
+from repro.net.message import Message
+from repro.net.metrics import NetworkMetrics
+
+Handler = Callable[[Message], dict]
+Tap = Callable[[Message], None]
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Per-hop latency: ``base`` seconds plus uniform jitter up to ``jitter``."""
+
+    base: float = 0.001
+    jitter: float = 0.0005
+
+    def sample(self, rng: Rng) -> float:
+        if self.jitter <= 0:
+            return self.base
+        return self.base + (rng.int_below(10_000) / 10_000.0) * self.jitter
+
+
+class Network:
+    """Synchronous simulated network with metering, taps, and fault injection."""
+
+    def __init__(
+        self,
+        clock: Clock,
+        latency: Optional[LatencyModel] = None,
+        rng: Optional[Rng] = None,
+    ) -> None:
+        self.clock = clock
+        self.latency = latency or LatencyModel()
+        self.rng = rng or DEFAULT_RNG
+        self.metrics = NetworkMetrics()
+        self._endpoints: Dict[PrincipalId, Handler] = {}
+        self._taps: List[Tap] = []
+        self._drop_probability = 0.0
+        self._blackholes: set = set()
+
+    # -- topology -----------------------------------------------------------
+
+    def register(self, principal: PrincipalId, handler: Handler) -> None:
+        """Attach an endpoint; replaces any previous registration."""
+        self._endpoints[principal] = handler
+
+    def unregister(self, principal: PrincipalId) -> None:
+        self._endpoints.pop(principal, None)
+
+    def knows(self, principal: PrincipalId) -> bool:
+        return principal in self._endpoints
+
+    # -- attacker / fault hooks ----------------------------------------------
+
+    def add_tap(self, tap: Tap) -> None:
+        """Attach a passive observer of all traffic (e.g. an eavesdropper)."""
+        self._taps.append(tap)
+
+    def remove_tap(self, tap: Tap) -> None:
+        self._taps.remove(tap)
+
+    def set_drop_probability(self, probability: float) -> None:
+        """Drop each request with this probability (responses unaffected)."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be within [0, 1]")
+        self._drop_probability = probability
+
+    def blackhole(self, principal: PrincipalId) -> None:
+        """Silently drop everything sent to ``principal`` (partition)."""
+        self._blackholes.add(principal)
+
+    def heal(self, principal: PrincipalId) -> None:
+        self._blackholes.discard(principal)
+
+    # -- delivery ------------------------------------------------------------
+
+    def _advance(self) -> None:
+        if isinstance(self.clock, SimulatedClock):
+            self.clock.advance(self.latency.sample(self.rng))
+
+    def _observe(self, message: Message) -> None:
+        self.metrics.record(
+            str(message.source),
+            str(message.destination),
+            message.msg_type,
+            message.wire_size(),
+        )
+        for tap in self._taps:
+            tap(message)
+
+    def send(
+        self,
+        source: PrincipalId,
+        destination: PrincipalId,
+        msg_type: str,
+        payload: dict,
+    ) -> dict:
+        """Send a request and return the response payload.
+
+        Raises:
+            UnknownEndpointError: nothing registered at ``destination``.
+            MessageDroppedError: the fault injector ate the request.
+        """
+        message = Message(
+            source=source,
+            destination=destination,
+            msg_type=msg_type,
+            payload=payload,
+        )
+        self._observe(message)
+        if destination in self._blackholes:
+            self.metrics.record_drop()
+            raise MessageDroppedError(f"{destination} is partitioned away")
+        if self._drop_probability > 0.0:
+            draw = self.rng.int_below(1_000_000) / 1_000_000.0
+            if draw < self._drop_probability:
+                self.metrics.record_drop()
+                raise MessageDroppedError("message dropped by fault injector")
+        handler = self._endpoints.get(destination)
+        if handler is None:
+            raise UnknownEndpointError(f"no endpoint for {destination}")
+        self._advance()
+        response_payload = handler(message)
+        response = message.reply(response_payload)
+        self._observe(response)
+        self._advance()
+        return response.payload

@@ -1,0 +1,62 @@
+"""Base class for network services.
+
+A :class:`Service` registers a principal on the network and dispatches
+incoming messages to ``op_<msg_type>`` methods (hyphens become underscores:
+``"deposit-check"`` → ``op_deposit_check``).  Library exceptions raised by a
+handler are converted to error payloads and re-raised client-side by
+:func:`repro.net.message.raise_if_error`, so services and clients share the
+exception vocabulary of :mod:`repro.errors`.
+"""
+
+from __future__ import annotations
+
+from repro.clock import Clock
+from repro.encoding.identifiers import PrincipalId
+from repro.errors import ReproError, ServiceError
+from repro.net.message import Message, encode_error, raise_if_error
+from repro.net.network import Network
+
+
+class Service:
+    """A principal with a message handler on the simulated network."""
+
+    def __init__(
+        self, principal: PrincipalId, network: Network, clock: Clock
+    ) -> None:
+        self.principal = principal
+        self.network = network
+        self.clock = clock
+        network.register(principal, self.handle)
+
+    def handle(self, message: Message) -> dict:
+        """Dispatch to ``op_<msg_type>``; map library errors to payloads."""
+        method_name = "op_" + message.msg_type.replace("-", "_")
+        method = getattr(self, method_name, None)
+        if method is None:
+            return encode_error(
+                ServiceError(
+                    f"{self.principal} does not handle {message.msg_type!r}"
+                )
+            )
+        try:
+            return method(message)
+        except ReproError as exc:
+            return encode_error(exc)
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            # Malformed payloads must produce an error reply, not crash
+            # the dispatch loop: everything that arrives is untrusted.
+            return encode_error(
+                ServiceError(
+                    f"malformed {message.msg_type!r} request: "
+                    f"{type(exc).__name__}: {exc}"
+                )
+            )
+
+    def call(
+        self, destination: PrincipalId, msg_type: str, payload: dict
+    ) -> dict:
+        """Client-side helper: send and raise any transported error."""
+        response = self.network.send(
+            self.principal, destination, msg_type, payload
+        )
+        return raise_if_error(response)

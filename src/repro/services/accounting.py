@@ -1,0 +1,777 @@
+"""Accounting servers: multi-currency accounts, checks, and clearing (§4).
+
+"Accounts are maintained on accounting servers.  At a minimum, each account
+contains a unique name, an access-control-list, and a collection of records,
+each record specifying a currency and a balance.  Accounting servers support
+multiple currencies, either monetary (dollars, pounds, or yen) or resource
+specific (disk blocks, cpu cycles, or printer pages)."
+
+Implemented flows:
+
+* **Direct clearing** — a check drawn on *this* server is presented by the
+  payee (claimant satisfies the grantee restriction) and funds move
+  immediately.
+* **Cross-server clearing (Fig. 5)** — the payee deposits with its own
+  server (message E1 carries the payee's endorsement); that server marks the
+  credit *uncollected*, adds its own endorsement, and forwards the check
+  toward the payor's server (message E2); each hop is one more delegate link
+  in the cascade, and the payor's server verifies the whole chain offline.
+  The presenting server is paid into a settlement account; each hop pays its
+  predecessor; finally the payee's uncollected mark becomes real funds.
+* **Duplicate rejection** — "once a check is paid, the accounting server
+  keeps track of the check number until the expiration time on the check";
+  the ``accept-once`` machinery enforces this, transactionally so bounced
+  checks stay cashable.
+* **Certified checks** — the payor's server places a hold and issues an
+  authorization proxy "certifying that the client has sufficient resources
+  to cover the check"; when the check clears, payment comes from the hold.
+* **Quota transfers** — "quotas are implemented by transferring funds ...
+  out of an account when the resource is allocated and transferring the
+  funds back when the resource is released": ``transfer`` moves funds
+  between accounts under the account ACL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.acl import AccessControlList, AclEntry, SinglePrincipal
+from repro.clock import Clock
+from repro.core.restrictions import (
+    AcceptOnce,
+    Authorized,
+    AuthorizedEntry,
+    IssuedFor,
+)
+from repro.crypto.keys import SymmetricKey
+from repro.crypto.rng import DEFAULT_RNG, Rng
+from repro.encoding.identifiers import AccountId, PrincipalId
+from repro.errors import (
+    AccountingError,
+    AuthorizationDenied,
+    CheckError,
+    InsufficientFundsError,
+    ServiceError,
+    UnknownAccountError,
+)
+from repro.kerberos.client import KerberosClient
+from repro.kerberos.proxy_support import (
+    KerberosProxy,
+    endorse,
+    grant_via_credentials,
+)
+from repro.net.network import Network
+from repro.services.authorization import (
+    open_proxy_delivery,
+    seal_proxy_delivery,
+)
+from repro.services.checks import (
+    ACCOUNT_TARGET_PREFIX,
+    DEBIT_OPERATION,
+    Check,
+    account_target,
+    draw_check,
+)
+from repro.services.client import ServiceClient
+from repro.services.endserver import AuthorizedRequest, EndServer
+
+#: Prefix for auto-created inter-server settlement accounts.
+SETTLEMENT_PREFIX = "settlement:"
+
+#: The server-owned account that backs cashier's checks (§4: "cashier's
+#: checks are also easily supported by this accounting model" — the paper
+#: leaves the details as an exercise; this is our answer).
+CASHIER_ACCOUNT = "cashier"
+
+
+@dataclass
+class Hold:
+    """Funds reserved for an outstanding certified check (§4)."""
+
+    check_number: str
+    currency: str
+    amount: int
+    payee: PrincipalId
+    expires_at: float
+
+
+@dataclass
+class Account:
+    """One account: name, ACL, balances, and holds (§4)."""
+
+    name: str
+    owner: PrincipalId
+    acl: AccessControlList = field(default_factory=AccessControlList)
+    balances: Dict[str, int] = field(default_factory=dict)
+    holds: Dict[str, Hold] = field(default_factory=dict)
+
+    def balance(self, currency: str) -> int:
+        return self.balances.get(currency, 0)
+
+    def credit(self, currency: str, amount: int) -> None:
+        if amount < 0:
+            raise AccountingError("credit amount must be non-negative")
+        self.balances[currency] = self.balance(currency) + amount
+
+    def debit(self, currency: str, amount: int) -> None:
+        if amount < 0:
+            raise AccountingError("debit amount must be non-negative")
+        available = self.balance(currency)
+        if available < amount:
+            raise InsufficientFundsError(
+                f"account {self.name}: {available} {currency} available, "
+                f"{amount} required"
+            )
+        self.balances[currency] = available - amount
+
+    def held_total(self, currency: str) -> int:
+        return sum(
+            h.amount for h in self.holds.values() if h.currency == currency
+        )
+
+
+class AccountingServer(EndServer):
+    """A bank for money-like and resource currencies (§4)."""
+
+    def __init__(
+        self,
+        principal: PrincipalId,
+        secret_key: SymmetricKey,
+        network: Network,
+        clock: Clock,
+        kerberos: KerberosClient,
+        default_lifetime: float = 3600.0,
+        rng: Optional[Rng] = None,
+        **kwargs,
+    ) -> None:
+        # The server-level ACL is open: authorization is per-account
+        # ("each account contains ... an access-control-list", §4).
+        kwargs.setdefault("acl", AccessControlList.open_to_all())
+        super().__init__(
+            principal, secret_key, network, clock, rng=rng, **kwargs
+        )
+        if kerberos.principal != principal:
+            raise ServiceError(
+                "accounting server needs its own Kerberos identity"
+            )
+        self.kerberos = kerberos
+        self.default_lifetime = default_lifetime
+        self.accounts: Dict[str, Account] = {}
+        #: Routing for multi-hop clearing: payor server -> next hop.
+        #: Absent entries mean "contact directly".
+        self.routes: Dict[PrincipalId, PrincipalId] = {}
+        self._rng_local = rng or DEFAULT_RNG
+        self.register_operation("open-account", self._op_open_account)
+        self.register_operation("balance", self._op_balance)
+        self.register_operation("transfer", self._op_transfer)
+        self.register_operation(DEBIT_OPERATION, self._op_debit)
+        self.register_operation("deposit-check", self._op_deposit_check)
+        self.register_operation("collect-check", self._op_collect_check)
+        self.register_operation("certify-check", self._op_certify_check)
+        self.register_operation(
+            "cancel-certified-check", self._op_cancel_certified_check
+        )
+        self.register_operation(
+            "purchase-cashiers-check", self._op_purchase_cashiers_check
+        )
+        # Funds backing outstanding cashier's checks live here; the server
+        # itself owns the account and is the payor of such checks.
+        self.create_account(CASHIER_ACCOUNT, self.principal)
+
+    # ------------------------------------------------------------------
+    # Account plumbing
+    # ------------------------------------------------------------------
+
+    def account_id(self, name: str) -> AccountId:
+        return AccountId(server=self.principal, account=name)
+
+    def create_account(
+        self,
+        name: str,
+        owner: PrincipalId,
+        initial: Optional[Dict[str, int]] = None,
+    ) -> Account:
+        """Server-side account creation (also used by ``open-account``)."""
+        if name in self.accounts:
+            raise AccountingError(f"account {name} already exists")
+        acl = AccessControlList(
+            entries=[AclEntry(subject=SinglePrincipal(owner))]
+        )
+        account = Account(name=name, owner=owner, acl=acl)
+        for currency, amount in (initial or {}).items():
+            account.credit(currency, amount)
+        self.accounts[name] = account
+        return account
+
+    def mint(self, name: str, currency: str, amount: int) -> None:
+        """Create funds out of thin air (fixture/central-bank use only)."""
+        self._account(name).credit(currency, amount)
+
+    def _account(self, name: str) -> Account:
+        try:
+            return self.accounts[name]
+        except KeyError:
+            raise UnknownAccountError(
+                f"no account {name!r} on {self.principal}"
+            ) from None
+
+    def _settlement_account(self, peer: PrincipalId) -> Account:
+        name = f"{SETTLEMENT_PREFIX}{peer.name}"
+        if name not in self.accounts:
+            self.create_account(name, owner=peer)
+        return self.accounts[name]
+
+    def _authorize_account(
+        self,
+        account: Account,
+        request: AuthorizedRequest,
+        operation: str,
+    ) -> None:
+        """Per-account ACL check (§4)."""
+        principals = frozenset(
+            p
+            for p in (request.rights, request.claimant)
+            if p is not None
+        )
+        entry = account.acl.match(
+            principals, request.groups, operation, account.name
+        )
+        if entry is None:
+            raise AuthorizationDenied(
+                f"{request.rights} may not {operation} account "
+                f"{account.name}"
+            )
+
+    @staticmethod
+    def _target_account_name(request: AuthorizedRequest) -> str:
+        target = request.target or ""
+        if not target.startswith(ACCOUNT_TARGET_PREFIX):
+            raise ServiceError(
+                f"target must be {ACCOUNT_TARGET_PREFIX}<name>, got "
+                f"{target!r}"
+            )
+        return target[len(ACCOUNT_TARGET_PREFIX):]
+
+    # ------------------------------------------------------------------
+    # Simple operations
+    # ------------------------------------------------------------------
+
+    def _op_open_account(self, request: AuthorizedRequest) -> dict:
+        if request.claimant is None:
+            raise AuthorizationDenied(
+                "opening an account requires an authenticated session"
+            )
+        name = self._target_account_name(request)
+        self.create_account(name, owner=request.claimant)
+        return {"account": self.account_id(name).to_wire()}
+
+    def _op_balance(self, request: AuthorizedRequest) -> dict:
+        account = self._account(self._target_account_name(request))
+        self._authorize_account(account, request, "read")
+        return {
+            "balances": dict(account.balances),
+            "held": {
+                h.check_number: {
+                    "currency": h.currency,
+                    "amount": h.amount,
+                }
+                for h in account.holds.values()
+            },
+        }
+
+    def _op_transfer(self, request: AuthorizedRequest) -> dict:
+        """Intra-server transfer (quota allocate/release uses this, §4)."""
+        source = self._account(self._target_account_name(request))
+        self._authorize_account(source, request, "transfer")
+        destination = self._account(request.args["to"])
+        currency = request.args["currency"]
+        amount = int(request.args["amount"])
+        source.debit(currency, amount)
+        destination.credit(currency, amount)
+        return {
+            "from_balance": source.balance(currency),
+            "to_balance": destination.balance(currency),
+        }
+
+    # ------------------------------------------------------------------
+    # Check clearing
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _check_number_from(request: AuthorizedRequest) -> str:
+        numbers = [
+            r.identifier
+            for r in request.presented_restrictions
+            if isinstance(r, AcceptOnce)
+        ]
+        if not numbers:
+            raise CheckError("presented proxy carries no check number")
+        return numbers[0]
+
+    def _op_debit(self, request: AuthorizedRequest) -> dict:
+        """Clear a presented check against the payor's account.
+
+        The proxy framework has already verified the chain: signatures,
+        endorsement grantees, the quota against the requested amount, and
+        the accept-once check number (rolled back if we raise below).
+        """
+        if request.verified is None:
+            raise AuthorizationDenied(
+                "debit requires a presented check (restricted proxy)"
+            )
+        account = self._account(self._target_account_name(request))
+        self._authorize_account(account, request, DEBIT_OPERATION)
+        currency = request.args["currency"]
+        amount = int(request.args["amount"])
+        if request.amounts.get(currency, 0) != amount:
+            raise CheckError(
+                "declared amounts do not match the requested transfer"
+            )
+        credit_name = request.args["credit_account"]
+        check_number = self._check_number_from(request)
+
+        hold = account.holds.get(check_number)
+        if hold is not None:
+            # Certified check: pay from the reserved funds (§4).
+            if hold.currency != currency or amount > hold.amount:
+                raise CheckError(
+                    "cleared check does not match its certification"
+                )
+            del account.holds[check_number]
+            remainder = hold.amount - amount
+            if remainder:
+                account.credit(currency, remainder)
+        else:
+            account.debit(currency, amount)
+
+        if credit_name in self.accounts:
+            destination = self.accounts[credit_name]
+        elif request.claimant is not None:
+            # Presenting server collecting on another's behalf: pay into
+            # its settlement account.
+            destination = self._settlement_account(request.claimant)
+        else:
+            raise CheckError(f"no account {credit_name!r} to credit")
+        destination.credit(currency, amount)
+        return {
+            "paid": amount,
+            "currency": currency,
+            "check_number": check_number,
+            "credited": destination.name,
+        }
+
+    # -- deposits (payee side server, Fig. 5 E1/E2) -----------------------
+
+    def _clear_remotely(
+        self,
+        bundle: KerberosProxy,
+        payor_server: PrincipalId,
+        payor_account: str,
+        currency: str,
+        amount: int,
+        expires_at: float,
+    ) -> dict:
+        """Forward an endorsed check toward the payor's server (E2...).
+
+        If a route is configured, endorse to the next hop and let it
+        collect; otherwise present the chain to the payor's server
+        directly.  Either way we are a named grantee of the chain's final
+        link, so we authenticate (AP session) and present.
+        """
+        next_hop = self.routes.get(payor_server)
+        if next_hop is None or next_hop == payor_server:
+            client = ServiceClient(self.kerberos, payor_server)
+            return client.request(
+                DEBIT_OPERATION,
+                target=f"{ACCOUNT_TARGET_PREFIX}{payor_account}",
+                args={
+                    "currency": currency,
+                    "amount": amount,
+                    "credit_account": f"{SETTLEMENT_PREFIX}{self.principal.name}",
+                },
+                amounts={currency: amount},
+                proxy=bundle,
+            )
+        # Multi-hop: add our own endorsement naming the next hop (the
+        # paper's "subsequent accounting servers repeat the process").
+        credentials = self.kerberos.get_ticket(payor_server)
+        endorsed = endorse(
+            bundle,
+            credentials,
+            subordinate=next_hop,
+            additional_restrictions=(),
+            issued_at=self.clock.now(),
+            expires_at=expires_at,
+            rng=self._rng_local,
+        )
+        client = ServiceClient(self.kerberos, next_hop)
+        return client.request(
+            "collect-check",
+            target=f"{ACCOUNT_TARGET_PREFIX}{payor_account}",
+            args={
+                "bundle": endorsed.transferable(),
+                "payor_server": payor_server.to_wire(),
+                "payor_account": payor_account,
+                "currency": currency,
+                "amount": amount,
+                "expires_at": expires_at,
+            },
+        )
+
+    def _op_deposit_check(self, request: AuthorizedRequest) -> dict:
+        """E1: the payee deposits an endorsed check with us (its server).
+
+        Args: ``bundle`` (transferable chain already endorsed by the payee
+        to us), ``payor_server``, ``payor_account``, ``currency``,
+        ``amount``, ``expires_at``, ``payee_account`` (to credit here).
+        """
+        if request.claimant is None:
+            raise AuthorizationDenied(
+                "deposits require an authenticated session"
+            )
+        payee_account = self._account(request.args["payee_account"])
+        self._authorize_account(payee_account, request, "transfer")
+        bundle = KerberosProxy.from_transferable(request.args["bundle"])
+        payor_server = PrincipalId.from_wire(request.args["payor_server"])
+        currency = request.args["currency"]
+        amount = int(request.args["amount"])
+
+        if payor_server == self.principal:
+            raise CheckError(
+                "checks drawn on this server clear via the debit operation"
+            )
+        # "the resources added to S's account [are marked] as uncollected"
+        # until the payor's server pays; in this synchronous implementation
+        # the collection happens before we return, so the uncollected state
+        # is visible only through the metrics/audit trail.
+        result = self._clear_remotely(
+            bundle,
+            payor_server,
+            request.args["payor_account"],
+            currency,
+            amount,
+            float(request.args["expires_at"]),
+        )
+        payee_account.credit(currency, int(result["paid"]))
+        return {
+            "cleared": True,
+            "paid": result["paid"],
+            "currency": currency,
+            "balance": payee_account.balance(currency),
+        }
+
+    def _op_collect_check(self, request: AuthorizedRequest) -> dict:
+        """Intermediate hop: endorse onward, then credit our predecessor."""
+        if request.claimant is None:
+            raise AuthorizationDenied(
+                "collection requires an authenticated session"
+            )
+        bundle = KerberosProxy.from_transferable(request.args["bundle"])
+        payor_server = PrincipalId.from_wire(request.args["payor_server"])
+        currency = request.args["currency"]
+        amount = int(request.args["amount"])
+        result = self._clear_remotely(
+            bundle,
+            payor_server,
+            request.args["payor_account"],
+            currency,
+            amount,
+            float(request.args["expires_at"]),
+        )
+        predecessor = self._settlement_account(request.claimant)
+        predecessor.credit(currency, int(result["paid"]))
+        return result
+
+    # ------------------------------------------------------------------
+    # Certified checks (§4)
+    # ------------------------------------------------------------------
+
+    def _op_certify_check(self, request: AuthorizedRequest) -> dict:
+        """Place a hold and issue the certification proxy.
+
+        Args: ``account``, ``check_number``, ``payee``, ``currency``,
+        ``amount``, ``end_server`` (where the certification will be shown),
+        ``expires_at``.
+        """
+        if request.session_key is None or request.claimant is None:
+            raise AuthorizationDenied(
+                "certification requires an authenticated session"
+            )
+        account = self._account(request.args["account"])
+        self._authorize_account(account, request, DEBIT_OPERATION)
+        check_number = request.args["check_number"]
+        if check_number in account.holds:
+            raise CheckError(
+                f"check {check_number} is already certified"
+            )
+        currency = request.args["currency"]
+        amount = int(request.args["amount"])
+        expires_at = float(request.args["expires_at"])
+        payee = PrincipalId.from_wire(request.args["payee"])
+        end_server = PrincipalId.from_wire(request.args["end_server"])
+
+        account.debit(currency, amount)  # the hold (§4)
+        account.holds[check_number] = Hold(
+            check_number=check_number,
+            currency=currency,
+            amount=amount,
+            payee=payee,
+            expires_at=expires_at,
+        )
+        restrictions = (
+            Authorized(
+                entries=(
+                    AuthorizedEntry(
+                        target=f"check:{check_number}",
+                        operations=("verify-certification",),
+                    ),
+                )
+            ),
+            IssuedFor(servers=(end_server,)),
+        )
+        credentials = self.kerberos.get_ticket(end_server)
+        kproxy = grant_via_credentials(
+            credentials,
+            restrictions,
+            issued_at=self.clock.now(),
+            expires_at=expires_at,
+        )
+        return {
+            "sealed_proxy": seal_proxy_delivery(
+                kproxy, request.session_key
+            )
+        }
+
+    def _op_purchase_cashiers_check(self, request: AuthorizedRequest) -> dict:
+        """Sell a cashier's check: the *server* becomes the payor (§4).
+
+        The purchaser's funds move into the server-owned cashier account at
+        once, and the server draws a check on itself, payable to the named
+        payee.  The payee can verify the payor is the accounting server
+        itself — the strongest guarantee the model offers, stronger than a
+        certified check because no purchaser account is involved at
+        clearing time.
+
+        Args: ``account`` (purchaser's), ``payee``, ``currency``,
+        ``amount``, ``expires_at``.
+        """
+        if request.claimant is None:
+            raise AuthorizationDenied(
+                "cashier's checks are sold only over authenticated sessions"
+            )
+        account = self._account(request.args["account"])
+        self._authorize_account(account, request, DEBIT_OPERATION)
+        currency = request.args["currency"]
+        amount = int(request.args["amount"])
+        expires_at = float(request.args["expires_at"])
+        payee = PrincipalId.from_wire(request.args["payee"])
+
+        cashier = self._account(CASHIER_ACCOUNT)
+        account.debit(currency, amount)
+        cashier.credit(currency, amount)
+
+        # The server draws on itself: its own credentials for itself root
+        # the check, so the payor *is* this accounting server.
+        credentials = self.kerberos.get_ticket(self.principal)
+        check = draw_check(
+            payor_credentials=credentials,
+            payor_account=self.account_id(CASHIER_ACCOUNT),
+            payee=payee,
+            currency=currency,
+            amount=amount,
+            issued_at=self.clock.now(),
+            expires_at=expires_at,
+            rng=self._rng_local,
+        )
+        return {"check": check.to_wire()}
+
+    def _op_cancel_certified_check(self, request: AuthorizedRequest) -> dict:
+        """Return expired-hold funds to the account owner."""
+        account = self._account(request.args["account"])
+        self._authorize_account(account, request, DEBIT_OPERATION)
+        check_number = request.args["check_number"]
+        hold = account.holds.get(check_number)
+        if hold is None:
+            raise CheckError(f"no hold for check {check_number}")
+        if hold.expires_at > self.clock.now():
+            raise CheckError(
+                "cannot cancel a certification before the check expires"
+            )
+        del account.holds[check_number]
+        account.credit(hold.currency, hold.amount)
+        return {"returned": hold.amount, "currency": hold.currency}
+
+
+class AccountingClient:
+    """A principal's interface to its accounting server (§4)."""
+
+    def __init__(
+        self, kerberos: KerberosClient, accounting_server: PrincipalId
+    ) -> None:
+        self.service = ServiceClient(kerberos, accounting_server)
+
+    @property
+    def server(self) -> PrincipalId:
+        return self.service.server
+
+    @property
+    def principal(self) -> PrincipalId:
+        return self.service.principal
+
+    def account_id(self, name: str) -> AccountId:
+        return AccountId(server=self.server, account=name)
+
+    # -- plain account operations -----------------------------------------
+
+    def open_account(self, name: str) -> AccountId:
+        reply = self.service.request(
+            "open-account", target=f"{ACCOUNT_TARGET_PREFIX}{name}"
+        )
+        return AccountId.from_wire(reply["account"])
+
+    def balance(self, name: str) -> Dict[str, int]:
+        reply = self.service.request(
+            "balance", target=f"{ACCOUNT_TARGET_PREFIX}{name}"
+        )
+        return {str(k): int(v) for k, v in reply["balances"].items()}
+
+    def transfer(
+        self, source: str, destination: str, currency: str, amount: int
+    ) -> None:
+        self.service.request(
+            "transfer",
+            target=f"{ACCOUNT_TARGET_PREFIX}{source}",
+            args={"to": destination, "currency": currency, "amount": amount},
+        )
+
+    # -- checks ---------------------------------------------------------------
+
+    def write_check(
+        self,
+        account: str,
+        payee: PrincipalId,
+        currency: str,
+        amount: int,
+        lifetime: float = 3600.0,
+        number: Optional[str] = None,
+    ) -> Check:
+        """Draw a check on this client's account (Fig. 5 message 1)."""
+        credentials = self.service.kerberos.get_ticket(self.server)
+        now = self.service.kerberos.clock.now()
+        return draw_check(
+            payor_credentials=credentials,
+            payor_account=self.account_id(account),
+            payee=payee,
+            currency=currency,
+            amount=amount,
+            issued_at=now,
+            expires_at=now + lifetime,
+            number=number,
+        )
+
+    def deposit_check(
+        self, check: Check, payee_account: str, amount: Optional[int] = None
+    ) -> dict:
+        """Deposit a received check (Fig. 5 E1; the payee side).
+
+        ``amount`` may be lower than the check's face value ("the payee
+        transfers up to that limit").
+        """
+        amount = check.amount if amount is None else amount
+        clock = self.service.kerberos.clock
+        if check.drawn_on == self.server:
+            # Same accounting server: clear directly with the debit op.
+            return self.service.request(
+                DEBIT_OPERATION,
+                target=account_target(check.payor_account),
+                args={
+                    "currency": check.currency,
+                    "amount": amount,
+                    "credit_account": payee_account,
+                },
+                amounts={check.currency: amount},
+                proxy=check.bundle,
+            )
+        # Cross-server: endorse to our own server ("the payee grants its
+        # own accounting server a cascaded proxy (endorsement)"), then
+        # deposit (E1).
+        credentials = self.service.kerberos.get_ticket(check.drawn_on)
+        endorsed = endorse(
+            check.bundle,
+            credentials,
+            subordinate=self.server,
+            additional_restrictions=(),
+            issued_at=clock.now(),
+            expires_at=check.expires_at,
+        )
+        return self.service.request(
+            "deposit-check",
+            target=f"{ACCOUNT_TARGET_PREFIX}{payee_account}",
+            args={
+                "bundle": endorsed.transferable(),
+                "payor_server": check.drawn_on.to_wire(),
+                "payor_account": check.payor_account.account,
+                "currency": check.currency,
+                "amount": amount,
+                "expires_at": check.expires_at,
+                "payee_account": payee_account,
+            },
+        )
+
+    # -- certified checks -------------------------------------------------------
+
+    def certify_check(
+        self, check: Check, end_server: PrincipalId
+    ) -> KerberosProxy:
+        """Have our server certify a drawn check (§4's second mechanism).
+
+        Returns the authorization proxy to present (with the check) to the
+        end-server.
+        """
+        reply = self.service.request(
+            "certify-check",
+            target=account_target(check.payor_account),
+            args={
+                "account": check.payor_account.account,
+                "check_number": check.number,
+                "payee": check.payee.to_wire(),
+                "currency": check.currency,
+                "amount": check.amount,
+                "end_server": end_server.to_wire(),
+                "expires_at": check.expires_at,
+            },
+        )
+        session_key = self.service.kerberos.get_ticket(
+            self.server
+        ).session_key
+        return open_proxy_delivery(reply["sealed_proxy"], session_key)
+
+    def cancel_certified_check(self, account: str, check_number: str) -> dict:
+        return self.service.request(
+            "cancel-certified-check",
+            target=f"{ACCOUNT_TARGET_PREFIX}{account}",
+            args={"account": account, "check_number": check_number},
+        )
+
+    def purchase_cashiers_check(
+        self,
+        account: str,
+        payee: PrincipalId,
+        currency: str,
+        amount: int,
+        lifetime: float = 3600.0,
+    ) -> Check:
+        """Buy a cashier's check drawn by the accounting server itself (§4)."""
+        reply = self.service.request(
+            "purchase-cashiers-check",
+            target=f"{ACCOUNT_TARGET_PREFIX}{account}",
+            args={
+                "account": account,
+                "payee": payee.to_wire(),
+                "currency": currency,
+                "amount": amount,
+                "expires_at": self.service.kerberos.clock.now() + lifetime,
+            },
+        )
+        return Check.from_wire(reply["check"])

@@ -1,0 +1,239 @@
+"""The authorization server (§3.2, Fig. 3).
+
+"An authorization server implemented using restricted proxies does not
+directly specify that a particular principal is authorized ...  Instead,
+when requested by an authorized client, the authorization server grants a
+restricted proxy allowing the authorized client to act as the authorization
+server for the purpose of asserting the client's rights to access particular
+objects."
+
+Protocol (Fig. 3):
+
+0. (dashed) the client learns from a name server that end-server **S**
+   honours this authorization server **R**;
+1. authenticated authorization request (operation X) — here: an AP session
+   plus a ``request`` message;
+2. ``[operation X only]_R, {Kproxy}Ksession`` — the issued proxy; the
+   certificate is returned openly, the proxy key sealed under the session
+   key so a tap learns nothing exercisable;
+3. the client presents the proxy to **S** (not this server's concern).
+
+The database is the same ACL abstraction as everywhere else (§3.5), one ACL
+per end-server.  "The restrictions field of a matching access-control-list
+entry can be copied to the restrictions field of the resulting proxy", and
+restrictions carried by any proxy the client itself presented are
+propagated (§7.9).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.acl import AccessControlList, AclEntry
+from repro.clock import Clock
+from repro.core.restrictions import (
+    Authorized,
+    AuthorizedEntry,
+    IssuedFor,
+    Restriction,
+    propagate_restrictions,
+)
+from repro.crypto import symmetric as _symmetric
+from repro.crypto.keys import SymmetricKey
+from repro.encoding.canonical import decode, encode
+from repro.encoding.identifiers import PrincipalId
+from repro.errors import AuthorizationDenied, IntegrityError, ServiceError
+from repro.kerberos.client import KerberosClient
+from repro.kerberos.proxy_support import KerberosProxy, grant_via_credentials
+from repro.net.network import Network
+from repro.services.client import ServiceClient
+from repro.services.endserver import AuthorizedRequest, EndServer
+
+#: Associated data tag for sealed proxy deliveries (message 2).
+PROXY_DELIVERY_AD = b"authz-proxy-delivery"
+
+
+def seal_proxy_delivery(
+    kproxy: KerberosProxy, session_key: SymmetricKey
+) -> bytes:
+    """Seal a transferable proxy under the requester's session key.
+
+    This is Fig. 3's ``{Kproxy}Ksession``: the certificate would survive a
+    tap, but the proxy key never crosses the wire in the clear.
+    """
+    return _symmetric.seal(
+        session_key.secret,
+        encode(kproxy.transferable()),
+        associated_data=PROXY_DELIVERY_AD,
+    )
+
+
+def open_proxy_delivery(box: bytes, session_key: SymmetricKey) -> KerberosProxy:
+    """Client side of :func:`seal_proxy_delivery`."""
+    try:
+        wire = decode(
+            _symmetric.unseal(
+                session_key.secret, box, associated_data=PROXY_DELIVERY_AD
+            )
+        )
+    except IntegrityError as exc:
+        raise ServiceError(f"proxy delivery failed to open: {exc}") from exc
+    return KerberosProxy.from_transferable(wire)
+
+
+class AuthorizationServer(EndServer):
+    """Issues restricted proxies asserting clients' rights (§3.2)."""
+
+    ISSUER_MODE = True
+
+    def __init__(
+        self,
+        principal: PrincipalId,
+        secret_key: SymmetricKey,
+        network: Network,
+        clock: Clock,
+        kerberos: KerberosClient,
+        default_lifetime: float = 3600.0,
+        **kwargs,
+    ) -> None:
+        # The server-level ACL is open: anyone may *ask*; the per-end-server
+        # databases decide what, if anything, is granted.
+        kwargs.setdefault("acl", AccessControlList.open_to_all())
+        super().__init__(principal, secret_key, network, clock, **kwargs)
+        if kerberos.principal != principal:
+            raise ServiceError(
+                "authorization server needs its own Kerberos identity"
+            )
+        self.kerberos = kerberos
+        self.default_lifetime = default_lifetime
+        #: Per-end-server authorization databases (§3.2); plain ACLs (§3.5).
+        self.databases: Dict[PrincipalId, AccessControlList] = {}
+        self.register_operation("authorize", self._op_authorize)
+
+    # ------------------------------------------------------------------
+
+    def database_for(self, server: PrincipalId) -> AccessControlList:
+        """The (created-on-demand) database for one end-server."""
+        return self.databases.setdefault(server, AccessControlList())
+
+    # ------------------------------------------------------------------
+
+    def _op_authorize(self, request: AuthorizedRequest) -> dict:
+        """Handle message 1: look up rights, issue the proxy (message 2).
+
+        Args (in ``request.args``):
+            server: wire principal of the end-server the proxy is for.
+            operations: requested operations (must be a subset of what the
+                database allows).
+            targets: requested object patterns.
+        """
+        if request.session_key is None:
+            raise AuthorizationDenied(
+                "authorization requests must be made over an "
+                "authenticated session (Fig. 3 message 1)"
+            )
+        end_server = PrincipalId.from_wire(request.args["server"])
+        operations = tuple(request.args.get("operations") or ())
+        targets = tuple(request.args.get("targets") or ("*",))
+        if not operations:
+            raise ServiceError("no operations requested")
+
+        database = self.databases.get(end_server)
+        if database is None:
+            raise AuthorizationDenied(
+                f"no authorization database for {end_server}"
+            )
+        principals = frozenset(
+            p for p in (request.rights, request.claimant) if p is not None
+        )
+        # Every requested (operation, target) must be covered; collect the
+        # per-entry restrictions to copy forward (§3.5).
+        copied: Tuple[Restriction, ...] = ()
+        for operation in operations:
+            for target in targets:
+                entry = database.match(
+                    principals, request.groups, operation, target
+                )
+                if entry is None:
+                    raise AuthorizationDenied(
+                        f"{request.rights} may not {operation} {target} "
+                        f"on {end_server}"
+                    )
+                copied = copied + tuple(
+                    r for r in entry.restrictions if r not in copied
+                )
+
+        authorized = Authorized(
+            entries=tuple(
+                AuthorizedEntry(target=target, operations=operations)
+                for target in targets
+            )
+        )
+        # §7.9: restrictions on what the client presented flow onward.  The
+        # issued proxy reaches only ``end_server`` (issued-for below), so
+        # limit-restrictions scoped elsewhere may be dropped.  An issued-for
+        # restriction is *not* carried: it binds the certificate that
+        # carries it (which this server already honoured when accepting the
+        # presentation), and the new proxy gets its own.
+        carried = propagate_restrictions(
+            tuple(
+                r
+                for r in request.presented_restrictions
+                if not isinstance(r, IssuedFor)
+            ),
+            reachable_servers=(end_server,),
+        )
+        restrictions = (
+            (authorized, IssuedFor(servers=(end_server,)))
+            + copied
+            + carried
+        )
+        now = self.clock.now()
+        credentials = self.kerberos.get_ticket(end_server)
+        kproxy = grant_via_credentials(
+            credentials,
+            restrictions,
+            issued_at=now,
+            expires_at=now + self.default_lifetime,
+        )
+        return {
+            "sealed_proxy": seal_proxy_delivery(kproxy, request.session_key)
+        }
+
+
+class AuthorizationClient:
+    """Client side of Fig. 3 (messages 1–2)."""
+
+    def __init__(
+        self, kerberos: KerberosClient, authorization_server: PrincipalId
+    ) -> None:
+        self.service = ServiceClient(kerberos, authorization_server)
+
+    def authorize(
+        self,
+        end_server: PrincipalId,
+        operations: Tuple[str, ...],
+        targets: Tuple[str, ...] = ("*",),
+        proxy: Optional[KerberosProxy] = None,
+        group_proxies=(),
+    ) -> KerberosProxy:
+        """Request authorization credentials for ``end_server``.
+
+        Returns the issued proxy (certificate + proxy key), recovered from
+        the sealed delivery.
+        """
+        reply = self.service.request(
+            "authorize",
+            target=str(end_server),
+            args={
+                "server": end_server.to_wire(),
+                "operations": list(operations),
+                "targets": list(targets),
+            },
+            proxy=proxy,
+            group_proxies=group_proxies,
+        )
+        session_key = self.service.kerberos.get_ticket(
+            self.service.server
+        ).session_key
+        return open_proxy_delivery(reply["sealed_proxy"], session_key)

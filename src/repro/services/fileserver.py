@@ -1,0 +1,105 @@
+"""An in-memory file server — the end-server of the paper's running example.
+
+§3.1's capability walkthrough: "to create a read capability for a particular
+file, a user authorized to read that file requests a restricted proxy for
+use at the file server containing the file, but with the restriction that it
+can only be used to read the named file."
+
+Operations: ``read``, ``write``, ``delete``, ``list``, ``stat``.  Writes
+account for the ``bytes`` currency, so quota restrictions (§7.4) bite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.acl import AccessControlList, AclEntry, SinglePrincipal
+from repro.clock import Clock
+from repro.crypto.keys import SymmetricKey
+from repro.encoding.identifiers import PrincipalId
+from repro.errors import ServiceError
+from repro.net.network import Network
+from repro.services.endserver import AuthorizedRequest, EndServer
+
+#: Currency charged for writes.
+BYTES = "bytes"
+
+
+class FileServer(EndServer):
+    """Flat-namespace file store guarded by an ACL."""
+
+    def __init__(
+        self,
+        principal: PrincipalId,
+        secret_key: SymmetricKey,
+        network: Network,
+        clock: Clock,
+        acl: Optional[AccessControlList] = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(
+            principal, secret_key, network, clock, acl=acl, **kwargs
+        )
+        self.files: Dict[str, bytes] = {}
+        self.register_operation("read", self._op_read)
+        self.register_operation("write", self._op_write)
+        self.register_operation("delete", self._op_delete)
+        self.register_operation("list", self._op_list)
+        self.register_operation("stat", self._op_stat)
+
+    # -- convenience for tests/examples -------------------------------------
+
+    def grant_owner(self, owner: PrincipalId, prefix: str = "*") -> None:
+        """ACL entry giving ``owner`` everything under ``prefix``."""
+        self.acl.add(
+            AclEntry(subject=SinglePrincipal(owner), targets=(prefix,))
+        )
+
+    def put(self, path: str, data: bytes) -> None:
+        """Server-side seed (bypasses authorization; fixture use only)."""
+        self.files[path] = data
+
+    # -- operations ----------------------------------------------------------
+
+    def _require_target(self, request: AuthorizedRequest) -> str:
+        if request.target is None:
+            raise ServiceError(f"{request.operation} requires a target path")
+        return request.target
+
+    def _op_read(self, request: AuthorizedRequest) -> dict:
+        path = self._require_target(request)
+        if path not in self.files:
+            raise ServiceError(f"no such file: {path}")
+        return {"data": self.files[path]}
+
+    def _op_write(self, request: AuthorizedRequest) -> dict:
+        path = self._require_target(request)
+        data = request.args.get("data", b"")
+        if not isinstance(data, bytes):
+            raise ServiceError("write data must be bytes")
+        declared = request.amounts.get(BYTES, 0)
+        if declared < len(data):
+            raise ServiceError(
+                f"declared {declared} {BYTES} but wrote {len(data)}"
+            )
+        self.files[path] = data
+        return {"written": len(data)}
+
+    def _op_delete(self, request: AuthorizedRequest) -> dict:
+        path = self._require_target(request)
+        existed = self.files.pop(path, None) is not None
+        return {"deleted": existed}
+
+    def _op_list(self, request: AuthorizedRequest) -> dict:
+        prefix = request.target or ""
+        return {
+            "paths": sorted(
+                p for p in self.files if p.startswith(prefix)
+            )
+        }
+
+    def _op_stat(self, request: AuthorizedRequest) -> dict:
+        path = self._require_target(request)
+        if path not in self.files:
+            return {"exists": False, "size": 0}
+        return {"exists": True, "size": len(self.files[path])}

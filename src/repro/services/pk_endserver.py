@@ -1,0 +1,375 @@
+"""A public-key end-server: the §6.1 deployment with no KDC at all.
+
+"If the authentication system is purely public-key … the end-server
+decrypts the proxy using the public key of the grantor (obtained from an
+authentication/name server), verifies the authenticity of the proxy,
+accepts additional authentication from the grantee …, checks the
+restrictions, and if all checks out, performs the requested operation."
+
+Pieces:
+
+* :class:`PublicKeyDirectory` — the authentication/name-server stand-in:
+  principal → public key.  Shared by servers and clients; removing a
+  principal is the public-key world's revocation lever.
+* :class:`SignedEnvelope` — client identity authentication: a signature by
+  the claimant's long-term key over (server, timestamp, nonce, request
+  digest); replay-suppressed and skew-checked like an authenticator.
+* :class:`PkEndServer` — ACL-guarded application server accepting signed
+  envelopes and Fig. 6 proxy presentations (pure public or §6.1 hybrid
+  bindings), with the same restriction engine and audit log as the
+  Kerberos-backed :class:`~repro.services.endserver.EndServer`.
+* :class:`PkClient` — the client agent: signs envelopes, attaches proxies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Optional, Tuple
+
+from repro.acl import AccessControlList
+from repro.audit import AuditLog
+from repro.clock import Clock
+from repro.core.evaluation import RequestContext
+from repro.core.presentation import (
+    PresentedProxy,
+    present,
+    request_digest,
+)
+from repro.core.proxy import Proxy
+from repro.core.replay import AuthenticatorCache
+from repro.core.restrictions import check_all
+from repro.core.verification import (
+    ProxyVerifier,
+    PublicKeyCrypto,
+    VerifiedProxy,
+)
+from repro.crypto import schnorr
+from repro.crypto.dh import DEFAULT_GROUP, DhGroup
+from repro.crypto.rng import DEFAULT_RNG, Rng
+from repro.crypto.signature import SchnorrSigner, SchnorrVerifier, Verifier
+from repro.encoding.canonical import encode
+from repro.encoding.identifiers import PrincipalId
+from repro.errors import (
+    AuthorizationDenied,
+    AuthenticatorError,
+    ProxyVerificationError,
+    ReplayError,
+    ServiceError,
+    SignatureError,
+    UnknownPrincipalError,
+)
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.net.service import Service
+
+_ENVELOPE_DOMAIN = "repro-pk-envelope-v1"
+
+
+class PublicKeyDirectory:
+    """Principal → public key, as a name server would publish it (§6.1)."""
+
+    def __init__(self) -> None:
+        self._keys: Dict[PrincipalId, schnorr.SchnorrPublicKey] = {}
+
+    def publish(
+        self, principal: PrincipalId, public: schnorr.SchnorrPublicKey
+    ) -> None:
+        self._keys[principal] = public
+
+    def revoke(self, principal: PrincipalId) -> None:
+        """Drop a principal — every proxy rooted at it dies at once."""
+        self._keys.pop(principal, None)
+
+    def key_of(self, principal: PrincipalId) -> schnorr.SchnorrPublicKey:
+        try:
+            return self._keys[principal]
+        except KeyError:
+            raise UnknownPrincipalError(str(principal)) from None
+
+    def verifier_for(self, principal: PrincipalId) -> Verifier:
+        return SchnorrVerifier(public=self.key_of(principal))
+
+
+class _DirectoryCrypto(PublicKeyCrypto):
+    """PublicKeyCrypto view over a live directory (no copied snapshot)."""
+
+    def __init__(
+        self,
+        directory: PublicKeyDirectory,
+        own_schnorr: Optional[schnorr.SchnorrPrivateKey],
+    ) -> None:
+        super().__init__(directory={}, own_schnorr=own_schnorr)
+        self._live = directory
+
+    def grantor_verifier(self, grantor: PrincipalId) -> Verifier:
+        try:
+            return self._live.verifier_for(grantor)
+        except UnknownPrincipalError:
+            raise ProxyVerificationError(
+                f"grantor {grantor} not in key directory"
+            ) from None
+
+
+@dataclass(frozen=True)
+class SignedEnvelope:
+    """Identity authentication for one request (the PK 'authenticator')."""
+
+    claimant: PrincipalId
+    server: PrincipalId
+    timestamp: float
+    nonce: bytes
+    digest: bytes
+    signature: bytes = field(repr=False)
+
+    @staticmethod
+    def signed_body(
+        claimant: PrincipalId,
+        server: PrincipalId,
+        timestamp: float,
+        nonce: bytes,
+        digest: bytes,
+    ) -> bytes:
+        return encode(
+            [
+                _ENVELOPE_DOMAIN,
+                claimant.to_wire(),
+                server.to_wire(),
+                float(timestamp),
+                nonce,
+                digest,
+            ]
+        )
+
+    def body_bytes(self) -> bytes:
+        return self.signed_body(
+            self.claimant, self.server, self.timestamp, self.nonce, self.digest
+        )
+
+    def to_wire(self) -> dict:
+        return {
+            "claimant": self.claimant.to_wire(),
+            "server": self.server.to_wire(),
+            "timestamp": float(self.timestamp),
+            "nonce": self.nonce,
+            "digest": self.digest,
+            "signature": self.signature,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "SignedEnvelope":
+        return cls(
+            claimant=PrincipalId.from_wire(wire["claimant"]),
+            server=PrincipalId.from_wire(wire["server"]),
+            timestamp=float(wire["timestamp"]),
+            nonce=wire["nonce"],
+            digest=wire["digest"],
+            signature=wire["signature"],
+        )
+
+
+class PkEndServer(Service):
+    """ACL-guarded application server for the pure public-key world."""
+
+    def __init__(
+        self,
+        principal: PrincipalId,
+        network: Network,
+        clock: Clock,
+        directory: PublicKeyDirectory,
+        acl: Optional[AccessControlList] = None,
+        group: DhGroup = DEFAULT_GROUP,
+        max_skew: float = 60.0,
+        rng: Optional[Rng] = None,
+    ) -> None:
+        super().__init__(principal, network, clock)
+        self.directory = directory
+        self.acl = acl if acl is not None else AccessControlList()
+        self._rng = rng or DEFAULT_RNG
+        self.identity = schnorr.generate_keypair(group, rng=self._rng)
+        directory.publish(principal, self.identity.public)
+        self.verifier = ProxyVerifier(
+            server=principal,
+            crypto=_DirectoryCrypto(directory, own_schnorr=self.identity),
+            clock=clock,
+            max_skew=max_skew,
+        )
+        self._envelope_replay = AuthenticatorCache(
+            clock, window=self.verifier.freshness_window
+        )
+        self._operations: Dict[str, Callable] = {}
+        self.audit = AuditLog()
+
+    def register_operation(self, name: str, handler: Callable) -> None:
+        self._operations[name] = handler
+
+    # ------------------------------------------------------------------
+
+    def _authenticate_envelope(
+        self, wire: dict, expected_digest: bytes
+    ) -> PrincipalId:
+        envelope = SignedEnvelope.from_wire(wire)
+        if envelope.server != self.principal:
+            raise AuthenticatorError("envelope made for another server")
+        now = self.clock.now()
+        if abs(envelope.timestamp - now) > self.verifier.max_skew:
+            raise AuthenticatorError("envelope outside skew window")
+        if envelope.digest != expected_digest:
+            raise AuthenticatorError("envelope bound to another request")
+        try:
+            self.directory.verifier_for(envelope.claimant).verify(
+                envelope.body_bytes(), envelope.signature
+            )
+        except (SignatureError, UnknownPrincipalError) as exc:
+            raise AuthenticatorError(f"envelope rejected: {exc}") from exc
+        if not self._envelope_replay.register(
+            envelope.body_bytes() + envelope.signature
+        ):
+            raise ReplayError("envelope replayed")
+        return envelope.claimant
+
+    def op_request(self, message: Message) -> dict:
+        payload = message.payload
+        operation = payload["operation"]
+        target = payload.get("target")
+        amounts = {
+            str(k): int(v) for k, v in (payload.get("amounts") or {}).items()
+        }
+        digest = request_digest(operation, target)
+
+        claimant: Optional[PrincipalId] = None
+        if payload.get("envelope") is not None:
+            claimant = self._authenticate_envelope(
+                payload["envelope"], digest
+            )
+
+        verified: Optional[VerifiedProxy] = None
+        with self.verifier.accept_once.transaction():
+            if payload.get("proxy") is not None:
+                presented = PresentedProxy.from_wire(payload["proxy"])
+                verified = self.verifier.verify(
+                    presented,
+                    RequestContext(
+                        server=self.principal,
+                        operation=operation,
+                        target=target,
+                        claimant=claimant,
+                        amounts=amounts,
+                    ),
+                    expected_digest=digest,
+                )
+                rights = verified.grantor
+                self.audit.record(
+                    self.clock.now(), self.principal, verified, operation,
+                    target,
+                )
+            elif claimant is not None:
+                rights = claimant
+            else:
+                raise AuthorizationDenied(
+                    "request carries neither an envelope nor a proxy"
+                )
+
+            principals = frozenset(
+                p for p in (rights, claimant) if p is not None
+            )
+            entry = self.acl.authorize(
+                principals, frozenset(), operation, target
+            )
+            if entry.restrictions:
+                check_all(
+                    entry.restrictions,
+                    RequestContext(
+                        server=self.principal,
+                        operation=operation,
+                        target=target,
+                        claimant=claimant,
+                        amounts=amounts,
+                        time=self.clock.now(),
+                        grantor=rights,
+                        exercisers=principals,
+                        replay_registry=self.verifier.accept_once,
+                    ),
+                )
+            handler = self._operations.get(operation)
+            if handler is None:
+                raise ServiceError(f"no operation {operation!r}")
+            return handler(
+                rights, claimant, payload.get("args") or {}, amounts
+            )
+
+
+class PkClient:
+    """Client agent for the public-key world: a keypair and a directory."""
+
+    def __init__(
+        self,
+        principal: PrincipalId,
+        network: Network,
+        clock: Clock,
+        directory: PublicKeyDirectory,
+        group: DhGroup = DEFAULT_GROUP,
+        rng: Optional[Rng] = None,
+    ) -> None:
+        self.principal = principal
+        self.network = network
+        self.clock = clock
+        self.directory = directory
+        self._rng = rng or DEFAULT_RNG
+        self.identity = schnorr.generate_keypair(group, rng=self._rng)
+        directory.publish(principal, self.identity.public)
+
+    @property
+    def signer(self) -> SchnorrSigner:
+        return SchnorrSigner(self.identity)
+
+    def _envelope(
+        self, server: PrincipalId, digest: bytes
+    ) -> SignedEnvelope:
+        nonce = self._rng.bytes(8)
+        timestamp = self.clock.now()
+        body = SignedEnvelope.signed_body(
+            self.principal, server, timestamp, nonce, digest
+        )
+        return SignedEnvelope(
+            claimant=self.principal,
+            server=server,
+            timestamp=timestamp,
+            nonce=nonce,
+            digest=digest,
+            signature=self.signer.sign(body),
+        )
+
+    def request(
+        self,
+        server: PrincipalId,
+        operation: str,
+        target: Optional[str] = None,
+        args: Optional[dict] = None,
+        amounts: Optional[Dict[str, int]] = None,
+        proxy: Optional[Proxy] = None,
+        anonymous: bool = False,
+    ) -> dict:
+        """One authorized request, signed and/or proxy-backed."""
+        from repro.net.message import raise_if_error
+
+        digest = request_digest(operation, target)
+        payload: dict = {
+            "operation": operation,
+            "target": target,
+            "args": args or {},
+            "amounts": {k: int(v) for k, v in (amounts or {}).items()},
+        }
+        if not anonymous:
+            payload["envelope"] = self._envelope(server, digest).to_wire()
+        if proxy is not None:
+            payload["proxy"] = present(
+                proxy,
+                server,
+                self.clock.now(),
+                operation,
+                target=target,
+                prove_possession=proxy.proxy_key is not None,
+            ).to_wire()
+        return raise_if_error(
+            self.network.send(self.principal, server, "request", payload)
+        )

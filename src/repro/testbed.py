@@ -1,0 +1,221 @@
+"""One-call assembly of a complete deployment.
+
+Tests, examples, and benchmarks all need the same scaffolding: a simulated
+clock and network, a KDC, some users, and a few servers.  :class:`Realm`
+builds it, with a deterministic seed so any run is reproducible.
+
+    realm = Realm(seed=b"demo")
+    alice = realm.user("alice")
+    fs = realm.file_server("fileserver")
+    fs.grant_owner(alice.principal)
+    client = alice.client_for(fs.principal)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.clock import Clock, SimulatedClock, SystemClock
+from repro.crypto.keys import SymmetricKey
+from repro.crypto.rng import Rng
+from repro.encoding.identifiers import PrincipalId
+from repro.kerberos.client import KerberosClient
+from repro.kerberos.kdc import KeyDistributionCenter
+from repro.net.network import LatencyModel, Network
+from repro.services.accounting import AccountingClient, AccountingServer
+from repro.services.authorization import (
+    AuthorizationClient,
+    AuthorizationServer,
+)
+from repro.services.client import ServiceClient
+from repro.services.fileserver import FileServer
+from repro.services.groups import GroupClient, GroupServer
+from repro.services.nameserver import NameServer
+from repro.services.printserver import PrintServer
+
+
+@dataclass
+class User:
+    """A human-shaped principal: identity plus a Kerberos agent."""
+
+    principal: PrincipalId
+    secret_key: SymmetricKey
+    kerberos: KerberosClient
+
+    def client_for(self, server: PrincipalId) -> ServiceClient:
+        return ServiceClient(self.kerberos, server)
+
+    def authorization_client(self, server: PrincipalId) -> AuthorizationClient:
+        return AuthorizationClient(self.kerberos, server)
+
+    def group_client(self, server: PrincipalId) -> GroupClient:
+        return GroupClient(self.kerberos, server)
+
+    def accounting_client(self, server: PrincipalId) -> AccountingClient:
+        return AccountingClient(self.kerberos, server)
+
+
+class Realm:
+    """A complete single-realm deployment on a simulated network."""
+
+    def __init__(
+        self,
+        seed: Optional[bytes] = b"repro-testbed",
+        realm: str = "REPRO.ORG",
+        start_time: float = 1_000_000.0,
+        latency: Optional[LatencyModel] = None,
+        real_time: bool = False,
+        network: Optional[Network] = None,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        """Build a realm; pass a shared ``network``/``clock`` to co-locate
+        several realms on one fabric (see :func:`federation`)."""
+        self.rng = Rng(seed=seed)
+        if clock is not None:
+            self.clock = clock
+        else:
+            self.clock = (
+                SystemClock() if real_time else SimulatedClock(start_time)
+            )
+        self.network = network or Network(
+            self.clock, latency=latency, rng=self.rng.fork(b"net")
+        )
+        self.realm = realm
+        self.kdc = KeyDistributionCenter(
+            self.network, self.clock, realm=realm, rng=self.rng.fork(b"kdc")
+        )
+        self.users: Dict[str, User] = {}
+
+    # ------------------------------------------------------------------
+
+    def principal(self, name: str) -> PrincipalId:
+        return PrincipalId(name, self.realm)
+
+    def user(self, name: str) -> User:
+        """Register (or fetch) a user principal with a Kerberos agent."""
+        if name in self.users:
+            return self.users[name]
+        principal = self.principal(name)
+        key = self.kdc.database.register(principal)
+        agent = KerberosClient(
+            principal,
+            key,
+            self.network,
+            self.clock,
+            rng=self.rng.fork(b"user:" + name.encode()),
+        )
+        user = User(principal=principal, secret_key=key, kerberos=agent)
+        self.users[name] = user
+        return user
+
+    def _server_identity(self, name: str):
+        principal = self.principal(name)
+        key = self.kdc.database.register(principal)
+        agent = KerberosClient(
+            principal,
+            key,
+            self.network,
+            self.clock,
+            rng=self.rng.fork(b"srv:" + name.encode()),
+        )
+        return principal, key, agent
+
+    # ------------------------------------------------------------------
+
+    def file_server(self, name: str, **kwargs) -> FileServer:
+        principal, key, _ = self._server_identity(name)
+        return FileServer(
+            principal,
+            key,
+            self.network,
+            self.clock,
+            rng=self.rng.fork(b"fs:" + name.encode()),
+            **kwargs,
+        )
+
+    def print_server(self, name: str, **kwargs) -> PrintServer:
+        principal, key, _ = self._server_identity(name)
+        return PrintServer(
+            principal, key, self.network, self.clock, **kwargs
+        )
+
+    def name_server(self, name: str = "nameserver") -> NameServer:
+        principal, _, __ = self._server_identity(name)
+        return NameServer(principal, self.network, self.clock)
+
+    def authorization_server(self, name: str, **kwargs) -> AuthorizationServer:
+        principal, key, agent = self._server_identity(name)
+        return AuthorizationServer(
+            principal,
+            key,
+            self.network,
+            self.clock,
+            kerberos=agent,
+            rng=self.rng.fork(b"authz:" + name.encode()),
+            **kwargs,
+        )
+
+    def group_server(self, name: str, **kwargs) -> GroupServer:
+        principal, key, agent = self._server_identity(name)
+        return GroupServer(
+            principal,
+            key,
+            self.network,
+            self.clock,
+            kerberos=agent,
+            rng=self.rng.fork(b"grp:" + name.encode()),
+            **kwargs,
+        )
+
+    def accounting_server(self, name: str, **kwargs) -> AccountingServer:
+        principal, key, agent = self._server_identity(name)
+        return AccountingServer(
+            principal,
+            key,
+            self.network,
+            self.clock,
+            kerberos=agent,
+            rng=self.rng.fork(b"acct:" + name.encode()),
+            **kwargs,
+        )
+
+
+def federation(
+    realm_names,
+    seed: bytes = b"repro-federation",
+    start_time: float = 1_000_000.0,
+    latency: Optional[LatencyModel] = None,
+) -> Dict[str, Realm]:
+    """Build several realms on one network, with mutual cross-realm trust.
+
+    Every pair of KDCs is federated (full mesh), so a client in any realm
+    can obtain service tickets in any other — the paper's §1 setting of
+    organizations whose "clients and servers not previously known to one
+    another must interact".
+
+        realms = federation(["A.ORG", "B.ORG"])
+        alice = realms["A.ORG"].user("alice")
+        shop = realms["B.ORG"].file_server("shop")
+        alice.kerberos.get_ticket(shop.principal)   # cross-realm path
+    """
+    from repro.kerberos.kdc import federate
+
+    root = Rng(seed=seed)
+    clock = SimulatedClock(start_time)
+    network = Network(clock, latency=latency, rng=root.fork(b"net"))
+    realms: Dict[str, Realm] = {}
+    for name in realm_names:
+        realms[name] = Realm(
+            seed=seed + b":" + name.encode(),
+            realm=name,
+            network=network,
+            clock=clock,
+        )
+    names = list(realm_names)
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            federate(realms[a].kdc, realms[b].kdc, rng=root.fork(
+                b"fed:" + a.encode() + b":" + b.encode()
+            ))
+    return realms

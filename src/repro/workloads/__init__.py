@@ -1,0 +1,21 @@
+"""Synthetic workloads for the benchmark harness."""
+
+from repro.workloads.generator import (
+    FileOp,
+    Payment,
+    Zipf,
+    delegation_subsets,
+    file_workload,
+    membership_checks,
+    payment_workload,
+)
+
+__all__ = [
+    "Zipf",
+    "FileOp",
+    "file_workload",
+    "Payment",
+    "payment_workload",
+    "membership_checks",
+    "delegation_subsets",
+]

@@ -1,0 +1,219 @@
+"""Adversarial integration tests: the paper's security claims, attacked.
+
+Each test stages an attack against the full stack (network + Kerberos +
+services) and asserts the design holds — or, for the baseline, that the same
+attack succeeds, demonstrating the paper's §3.1 comparison.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.restrictions import (
+    Authorized,
+    AuthorizedEntry,
+    Grantee,
+    Quota,
+)
+from repro.errors import (
+    AuthorizationDenied,
+    ProxyVerificationError,
+    ReplayError,
+    RestrictionViolation,
+    ServiceError,
+)
+from repro.kerberos.proxy_support import KerberosProxy, grant_via_credentials
+from repro.net import Eavesdropper
+from repro.net.message import is_error, raise_if_error
+from repro.testbed import Realm
+
+
+@pytest.fixture
+def world():
+    realm = Realm(seed=b"attack-test")
+    alice = realm.user("alice")
+    bob = realm.user("bob")
+    fs = realm.file_server("files")
+    fs.grant_owner(alice.principal)
+    fs.put("doc/secret", b"the secret")
+    return realm, alice, bob, fs
+
+
+def read_capability(realm, alice, fs):
+    creds = alice.kerberos.get_ticket(fs.principal)
+    return grant_via_credentials(
+        creds,
+        (Authorized(entries=(AuthorizedEntry("doc/secret", ("read",)),)),),
+        realm.clock.now(),
+    )
+
+
+class TestEavesdropping:
+    def test_replayed_presentation_rejected(self, world):
+        """§3.1: tapping a capability presentation yields nothing usable."""
+        realm, alice, bob, fs = world
+        mallory = Eavesdropper()
+        mallory.attach(realm.network)
+        cap = read_capability(realm, alice, fs)
+        bob.client_for(fs.principal).request(
+            "read", "doc/secret", proxy=cap, anonymous=True
+        )
+        captured = mallory.last_of_type("request")
+        # Mallory replays the whole captured request verbatim.
+        reply = mallory.replay(realm.network, captured)
+        assert is_error(reply)
+        with pytest.raises((ReplayError, ProxyVerificationError)):
+            raise_if_error(reply)
+
+    def test_captured_certificates_unusable_for_new_requests(self, world):
+        """Certificates alone (no proxy key) cannot mint fresh requests."""
+        realm, alice, bob, fs = world
+        mallory_user = realm.user("mallory")
+        mallory = Eavesdropper()
+        mallory.attach(realm.network)
+        cap = read_capability(realm, alice, fs)
+        bob.client_for(fs.principal).request(
+            "read", "doc/secret", proxy=cap, anonymous=True
+        )
+        captured = mallory.last_of_type("request")
+        # Rebuild the bundle from what crossed the wire: certificates +
+        # tickets, but no key material.
+        stolen = KerberosProxy.from_transferable(
+            {
+                "tickets": captured.payload["proxy"]["tickets"],
+                "certificates": captured.payload["proxy"]["presented"][
+                    "certificates"
+                ],
+                "proxy_key": None,
+            }
+        )
+        client = mallory_user.client_for(fs.principal)
+        with pytest.raises((ProxyVerificationError, ServiceError)):
+            client.request(
+                "read", "doc/secret", proxy=stolen, anonymous=True
+            )
+
+    def test_proxy_key_never_visible_to_tap(self, world):
+        realm, alice, bob, fs = world
+        mallory = Eavesdropper()
+        mallory.attach(realm.network)
+        cap = read_capability(realm, alice, fs)
+        bob.client_for(fs.principal).request(
+            "read", "doc/secret", proxy=cap, anonymous=True
+        )
+        from repro.encoding.canonical import encode
+
+        key_bytes = cap.proxy.proxy_key.secret
+        for message in mallory.captured:
+            assert key_bytes not in encode(message.payload)
+
+
+class TestTampering:
+    def test_widening_authorized_list_rejected(self, world):
+        realm, alice, bob, fs = world
+        cap = read_capability(realm, alice, fs)
+        widened_cert = dataclasses.replace(
+            cap.proxy.certificates[0],
+            restrictions=(
+                Authorized(entries=(AuthorizedEntry("*", None),)),
+            ),
+        )
+        forged = KerberosProxy(
+            tickets=cap.tickets,
+            proxy=dataclasses.replace(
+                cap.proxy, certificates=(widened_cert,)
+            ),
+        )
+        client = bob.client_for(fs.principal)
+        with pytest.raises(ProxyVerificationError):
+            client.request("delete", "doc/secret", proxy=forged)
+
+    def test_removing_grantee_restriction_rejected(self, world):
+        """A delegate proxy cannot be laundered into a bearer proxy."""
+        realm, alice, bob, fs = world
+        creds = alice.kerberos.get_ticket(fs.principal)
+        delegate = grant_via_credentials(
+            creds, (Grantee(principals=(bob.principal,)),), realm.clock.now()
+        )
+        stripped_cert = dataclasses.replace(
+            delegate.proxy.certificates[0], restrictions=()
+        )
+        forged = KerberosProxy(
+            tickets=delegate.tickets,
+            proxy=dataclasses.replace(
+                delegate.proxy, certificates=(stripped_cert,)
+            ),
+        )
+        mallory = realm.user("mallory")
+        with pytest.raises(ProxyVerificationError):
+            mallory.client_for(fs.principal).request(
+                "read", "doc/secret", proxy=forged
+            )
+
+    def test_quota_cannot_be_loosened_by_cascade(self, world):
+        """Restrictions are additive: a cascade cannot raise a quota."""
+        realm, alice, bob, fs = world
+        from repro.core.proxy import cascade
+
+        creds = alice.kerberos.get_ticket(fs.principal)
+        tight = grant_via_credentials(
+            creds, (Quota(currency="bytes", limit=2),), realm.clock.now()
+        )
+        loosened = cascade(
+            tight.proxy,
+            (Quota(currency="bytes", limit=10_000),),
+            realm.clock.now(),
+            realm.clock.now() + 100,
+        )
+        client = bob.client_for(fs.principal)
+        with pytest.raises(RestrictionViolation):
+            client.request(
+                "write", "doc/new", proxy=tight.handoff(loosened),
+                args={"data": b"xxxx"}, amounts={"bytes": 4},
+            )
+
+
+class TestStolenCredentials:
+    def test_delegate_proxy_useless_to_thief(self, world):
+        """A stolen delegate proxy (with key!) needs the grantee's identity."""
+        realm, alice, bob, fs = world
+        creds = alice.kerberos.get_ticket(fs.principal)
+        delegate = grant_via_credentials(
+            creds, (Grantee(principals=(bob.principal,)),), realm.clock.now()
+        )
+        mallory = realm.user("mallory")
+        client = mallory.client_for(fs.principal)
+        with pytest.raises(RestrictionViolation):
+            client.request("read", "doc/secret", proxy=delegate)
+
+    def test_proxy_for_wrong_server_rejected(self, world):
+        """Conventional proxies bind to one end-server (§6.3)."""
+        realm, alice, bob, fs = world
+        other = realm.file_server("other-files")
+        other.grant_owner(alice.principal)
+        cap = read_capability(realm, alice, fs)
+        from repro.errors import TicketError
+
+        with pytest.raises((TicketError, ProxyVerificationError)):
+            bob.client_for(other.principal).request(
+                "read", "doc/secret", proxy=cap
+            )
+
+
+class TestExpiry:
+    def test_expired_capability_dies(self, world):
+        realm, alice, bob, fs = world
+        creds = alice.kerberos.get_ticket(fs.principal)
+        cap = grant_via_credentials(
+            creds,
+            (Authorized(entries=(AuthorizedEntry("doc/secret", ("read",)),)),),
+            realm.clock.now(),
+            expires_at=realm.clock.now() + 5,
+        )
+        client = bob.client_for(fs.principal)
+        client.request("read", "doc/secret", proxy=cap, anonymous=True)
+        realm.clock.advance(6)
+        from repro.errors import ProxyExpiredError
+
+        with pytest.raises(ProxyExpiredError):
+            client.request("read", "doc/secret", proxy=cap, anonymous=True)

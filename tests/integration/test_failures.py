@@ -1,0 +1,141 @@
+"""Failure injection: partitions and drops against the money paths.
+
+The paper notes the distributed accounting method "requires out-of-band
+mechanisms to deal with checks returned" — but the *mechanism itself* must
+never double-spend or lose funds when the network fails.  These tests
+partition servers and drop messages mid-flow and assert the books stay
+consistent and checks stay cashable.
+"""
+
+import pytest
+
+from repro.errors import (
+    MessageDroppedError,
+    ReproError,
+    ServiceError,
+    UnknownEndpointError,
+)
+from repro.services.accounting import SETTLEMENT_PREFIX
+from repro.testbed import Realm
+
+
+def non_settlement_total(servers, currency):
+    return sum(
+        account.balance(currency) + account.held_total(currency)
+        for server in servers
+        for name, account in server.accounts.items()
+        if not name.startswith(SETTLEMENT_PREFIX)
+    )
+
+
+@pytest.fixture
+def world():
+    realm = Realm(seed=b"failure-test")
+    alice = realm.user("alice")
+    bob = realm.user("bob")
+    bank_a = realm.accounting_server("bank-a")
+    bank_b = realm.accounting_server("bank-b")
+    bank_a.create_account("alice", alice.principal, {"dollars": 100})
+    bank_b.create_account("bob", bob.principal)
+    return realm, alice, bob, bank_a, bank_b
+
+
+class TestPartitionedClearing:
+    def test_deposit_fails_cleanly_when_payor_bank_partitioned(self, world):
+        realm, alice, bob, bank_a, bank_b = world
+        check = alice.accounting_client(bank_a.principal).write_check(
+            "alice", bob.principal, "dollars", 30
+        )
+        realm.network.blackhole(bank_a.principal)
+        with pytest.raises((MessageDroppedError, ServiceError)):
+            bob.accounting_client(bank_b.principal).deposit_check(
+                check, "bob"
+            )
+        # Nothing moved anywhere.
+        assert bank_a.accounts["alice"].balance("dollars") == 100
+        assert bank_b.accounts["bob"].balance("dollars") == 0
+
+    def test_check_cashable_after_partition_heals(self, world):
+        realm, alice, bob, bank_a, bank_b = world
+        check = alice.accounting_client(bank_a.principal).write_check(
+            "alice", bob.principal, "dollars", 30
+        )
+        realm.network.blackhole(bank_a.principal)
+        with pytest.raises(ReproError):
+            bob.accounting_client(bank_b.principal).deposit_check(
+                check, "bob"
+            )
+        realm.network.heal(bank_a.principal)
+        result = bob.accounting_client(bank_b.principal).deposit_check(
+            check, "bob"
+        )
+        assert result["paid"] == 30
+
+    def test_conservation_through_failed_attempts(self, world):
+        realm, alice, bob, bank_a, bank_b = world
+        banks = [bank_a, bank_b]
+        before = non_settlement_total(banks, "dollars")
+        check = alice.accounting_client(bank_a.principal).write_check(
+            "alice", bob.principal, "dollars", 30
+        )
+        realm.network.blackhole(bank_a.principal)
+        for _ in range(3):
+            with pytest.raises(ReproError):
+                bob.accounting_client(bank_b.principal).deposit_check(
+                    check, "bob"
+                )
+        realm.network.heal(bank_a.principal)
+        bob.accounting_client(bank_b.principal).deposit_check(check, "bob")
+        assert non_settlement_total(banks, "dollars") == before
+
+
+class TestRandomDrops:
+    def test_workload_under_lossy_network_conserves_funds(self, world):
+        """Random request drops: every completed or failed clearing leaves
+        the books consistent."""
+        realm, alice, bob, bank_a, bank_b = world
+        banks = [bank_a, bank_b]
+        before = non_settlement_total(banks, "dollars")
+        realm.network.set_drop_probability(0.15)
+        successes = 0
+        for i in range(20):
+            try:
+                check = alice.accounting_client(
+                    bank_a.principal
+                ).write_check("alice", bob.principal, "dollars", 1)
+                bob.accounting_client(bank_b.principal).deposit_check(
+                    check, "bob"
+                )
+                successes += 1
+            except ReproError:
+                pass
+        realm.network.set_drop_probability(0.0)
+        assert non_settlement_total(banks, "dollars") == before
+        assert bank_b.accounts["bob"].balance("dollars") == successes
+
+    def test_kdc_outage_blocks_new_tickets_only(self, world):
+        """With the KDC down, fresh authentications fail but established
+        credentials keep working (the offline-verification property)."""
+        realm, alice, bob, bank_a, bank_b = world
+        fs = realm.file_server("files")
+        fs.grant_owner(alice.principal)
+        fs.put("doc", b"data")
+        client = alice.client_for(fs.principal)
+        client.request("read", "doc")  # warm: tickets + session exist
+
+        realm.network.blackhole(realm.kdc.principal)
+        # Established session: still fine.
+        assert client.request("read", "doc")["data"] == b"data"
+        # A brand-new principal cannot start.
+        carol = realm.user("carol")
+        with pytest.raises(ReproError):
+            carol.client_for(fs.principal).request("read", "doc")
+        realm.network.heal(realm.kdc.principal)
+
+
+class TestServerLoss:
+    def test_unregistered_server(self, world):
+        realm, alice, bob, bank_a, bank_b = world
+        ghost = realm.principal("ghost")
+        with pytest.raises(UnknownEndpointError):
+            realm.network.send(alice.principal, ghost, "request", {})

@@ -1,0 +1,246 @@
+"""End-to-end scenarios: the paper's motivating workflows run whole.
+
+Each test is a miniature of one paper section: the capability lifecycle
+(§3.1), cascaded pipelines (§3.4), TGS fan-out (§6.3), separation of
+privilege (§3.5), and the electronic-commerce flow (§1/§4).
+"""
+
+import pytest
+
+from repro.acl import AclEntry, GroupSubject, SinglePrincipal
+from repro.core.proxy import cascade
+from repro.core.restrictions import (
+    Authorized,
+    AuthorizedEntry,
+    ForUseByGroup,
+    Grantee,
+    Quota,
+)
+from repro.errors import AuthorizationDenied, RestrictionViolation
+from repro.kerberos.proxy_support import (
+    KerberosProxy,
+    endorse,
+    grant_via_credentials,
+)
+from repro.testbed import Realm
+
+
+class TestCapabilityLifecycle:
+    """§3.1's full story: grant, pass on, re-restrict, use, revoke."""
+
+    def test_lifecycle(self):
+        realm = Realm(seed=b"cap-life")
+        alice, bob, carol = (
+            realm.user("alice"), realm.user("bob"), realm.user("carol")
+        )
+        fs = realm.file_server("files")
+        fs.grant_owner(alice.principal)
+        fs.put("proj/readme", b"hello")
+
+        # Alice creates a read capability for one file.
+        creds = alice.kerberos.get_ticket(fs.principal)
+        cap = grant_via_credentials(
+            creds,
+            (Authorized(entries=(AuthorizedEntry("proj/*", ("read",)),)),),
+            realm.clock.now(),
+        )
+        # Bob receives it (over a protected channel) and passes a further
+        # restricted version to carol.
+        bob_copy = KerberosProxy.from_transferable(cap.transferable())
+        narrower = cascade(
+            bob_copy.proxy,
+            (Authorized(entries=(AuthorizedEntry("proj/readme", ("read",)),)),),
+            realm.clock.now(),
+            realm.clock.now() + 60,
+        )
+        carol_copy = bob_copy.handoff(narrower)
+
+        out = carol.client_for(fs.principal).request(
+            "read", "proj/readme", proxy=carol_copy, anonymous=True
+        )
+        assert out["data"] == b"hello"
+
+        # Carol's copy cannot reach other files even though bob's can.
+        fs.put("proj/other", b"x")
+        with pytest.raises(RestrictionViolation):
+            carol.client_for(fs.principal).request(
+                "read", "proj/other", proxy=carol_copy, anonymous=True
+            )
+        bob.client_for(fs.principal).request(
+            "read", "proj/other", proxy=bob_copy, anonymous=True
+        )
+
+        # Revoking alice revokes every derived capability at once (§3.1).
+        fs.acl.remove_subject(SinglePrincipal(alice.principal))
+        for user, bundle in ((bob, bob_copy), (carol, carol_copy)):
+            with pytest.raises(AuthorizationDenied):
+                user.client_for(fs.principal).request(
+                    "read", "proj/readme", proxy=bundle, anonymous=True
+                )
+
+
+class TestCascadedPipeline:
+    """§3.4: a task flowing through partially-trusted intermediaries."""
+
+    def test_print_pipeline_with_audit_trail(self):
+        realm = Realm(seed=b"pipeline")
+        alice = realm.user("alice")
+        formatter = realm.user("format-service")
+        spooler = realm.user("spool-service")
+        ps = realm.print_server("printer")
+        alice.client_for(ps.principal).request("allocate", args={"pages": 50})
+
+        # Alice grants the formatter a delegate proxy capped at 10 pages.
+        creds = alice.kerberos.get_ticket(ps.principal)
+        to_formatter = grant_via_credentials(
+            creds,
+            (
+                Grantee(principals=(formatter.principal,)),
+                Quota(currency="pages", limit=10),
+            ),
+            realm.clock.now(),
+        )
+        # The formatter endorses it onward to the spooler, tightening more.
+        to_spooler = endorse(
+            to_formatter,
+            formatter.kerberos.get_ticket(ps.principal),
+            spooler.principal,
+            (Quota(currency="pages", limit=5),),
+            realm.clock.now(),
+            realm.clock.now() + 300,
+        )
+        out = spooler.client_for(ps.principal).request(
+            "print", "thesis.ps", amounts={"pages": 5}, proxy=to_spooler
+        )
+        assert out["job_id"] == 0
+        # The job ran under alice's rights, submitted by the spooler:
+        assert ps.jobs[0]["owner"] == str(alice.principal)
+        assert ps.jobs[0]["submitted_by"] == str(spooler.principal)
+        # And the quota tightening held:
+        with pytest.raises(RestrictionViolation):
+            spooler.client_for(ps.principal).request(
+                "print", "more.ps", amounts={"pages": 6}, proxy=to_spooler
+            )
+
+
+class TestTgsFanOut:
+    """§6.3: one TGS proxy reaches many end-servers."""
+
+    def test_one_proxy_many_servers(self):
+        realm = Realm(seed=b"fanout")
+        alice, bob = realm.user("alice"), realm.user("bob")
+        servers = [realm.file_server(f"files-{i}") for i in range(3)]
+        for fs in servers:
+            fs.grant_owner(alice.principal)
+            fs.put("f", b"data")
+
+        from repro.kerberos.ticket import Credentials
+
+        tgt = alice.kerberos.login()
+        tgs_proxy = grant_via_credentials(
+            Credentials(
+                ticket=tgt.ticket,
+                session_key=tgt.session_key,
+                client=alice.principal,
+                expires_at=tgt.expires_at,
+            ),
+            (Authorized(entries=(AuthorizedEntry("f", ("read",)),)),),
+            realm.clock.now(),
+        )
+        bob.kerberos.login()
+        for fs in servers:
+            creds = bob.kerberos.redeem_tgs_proxy(
+                tgt.ticket, tgs_proxy.proxy, fs.principal
+            )
+            from repro.kerberos.session import make_ap_request
+
+            session = fs.ap.accept(
+                make_ap_request(creds, realm.clock, presenter=bob.principal)
+            )
+            assert session.client == alice.principal
+            assert session.presenter == bob.principal
+
+
+class TestSeparationOfPrivilege:
+    """§3.5/§7.2: no single principal can act alone."""
+
+    def test_two_disjoint_groups_required(self):
+        realm = Realm(seed=b"sep-priv")
+        operator = realm.user("operator")
+        fs = realm.file_server("vault")
+        fs.put("launch-codes", b"0000")
+        gs = realm.group_server("groups")
+        ops = gs.create_group("operators", (operator.principal,))
+        sec = gs.create_group("security", (operator.principal,))
+
+        owner = realm.user("owner")
+        fs.grant_owner(owner.principal)
+        creds = owner.kerberos.get_ticket(fs.principal)
+        proxy = grant_via_credentials(
+            creds,
+            (ForUseByGroup(groups=(ops, sec), required=2),),
+            realm.clock.now(),
+        )
+        gc = operator.group_client(gs.principal)
+        g1 = gc.get_group_proxy("operators", fs.principal)
+        client = operator.client_for(fs.principal)
+        # One group is not enough.
+        with pytest.raises(RestrictionViolation):
+            client.request(
+                "read", "launch-codes", proxy=proxy, group_proxies=[g1]
+            )
+        g2 = gc.get_group_proxy("security", fs.principal)
+        out = client.request(
+            "read", "launch-codes", proxy=proxy, group_proxies=[g1, g2]
+        )
+        assert out["data"] == b"0000"
+
+
+class TestElectronicCommerce:
+    """§1's motivation: stranger-to-stranger commerce with payment."""
+
+    def test_purchase_with_certified_check(self):
+        realm = Realm(seed=b"commerce")
+        buyer = realm.user("buyer")
+        merchant = realm.user("merchant")
+        bank_a = realm.accounting_server("bank-a")
+        bank_b = realm.accounting_server("bank-b")
+        bank_a.create_account("buyer", buyer.principal, {"dollars": 100})
+        bank_b.create_account("merchant", merchant.principal)
+
+        shop = realm.file_server("shop")
+        shop.grant_owner(merchant.principal)
+        shop.put("catalog/widget", b"a fine widget")
+
+        # Buyer draws + certifies a check; merchant verifies certification
+        # at its shop before shipping, then deposits cross-bank.
+        buyer_acct = buyer.accounting_client(bank_a.principal)
+        check = buyer_acct.write_check(
+            "buyer", merchant.principal, "dollars", 30
+        )
+        certification = buyer_acct.certify_check(check, shop.principal)
+
+        from repro.core.evaluation import RequestContext
+
+        wire = certification.presentation(
+            shop.principal,
+            realm.clock.now(),
+            "verify-certification",
+            target=f"check:{check.number}",
+        )
+        verified = shop.acceptor.accept(
+            wire,
+            RequestContext(
+                server=shop.principal,
+                operation="verify-certification",
+                target=f"check:{check.number}",
+            ),
+        )
+        assert verified.grantor == bank_a.principal  # the bank's word
+
+        result = merchant.accounting_client(bank_b.principal).deposit_check(
+            check, "merchant"
+        )
+        assert result["paid"] == 30
+        assert bank_a.accounts["buyer"].balance("dollars") == 70
+        assert bank_b.accounts["merchant"].balance("dollars") == 30

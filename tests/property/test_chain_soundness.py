@@ -1,0 +1,130 @@
+"""Property: chain verification is sound under arbitrary tampering.
+
+A cascaded chain verifies iff every link is exactly as its signer made it.
+We build honest chains, apply a random structural mutation (flip a byte in
+a signature, swap restrictions, stretch expiry, reorder, drop or duplicate
+links), and assert verification rejects every mutated chain — while the
+untouched chain still verifies.
+"""
+
+import dataclasses
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.core.evaluation import RequestContext
+from repro.core.presentation import PresentedProxy, present
+from repro.core.proxy import cascade, grant_conventional
+from repro.core.restrictions import Quota
+from repro.core.verification import ProxyVerifier, SharedKeyCrypto
+from repro.crypto.keys import SymmetricKey
+from repro.crypto.rng import Rng
+from repro.encoding.identifiers import PrincipalId
+from repro.errors import ReproError
+
+ALICE = PrincipalId("alice")
+SERVER = PrincipalId("server")
+START = 1_000_000.0
+
+
+def build(seed: int, length: int):
+    rng = Rng(seed=b"chain-%d" % seed)
+    shared = SymmetricKey.generate(rng=rng)
+    clock = SimulatedClock(START)
+    verifier = ProxyVerifier(
+        server=SERVER, crypto=SharedKeyCrypto({ALICE: shared}), clock=clock
+    )
+    proxy = grant_conventional(ALICE, shared, (), START, START + 3600, rng)
+    for i in range(length - 1):
+        proxy = cascade(
+            proxy, (Quota(currency=f"c{i}", limit=10),),
+            START, START + 3600, rng,
+        )
+    return clock, verifier, proxy
+
+
+def verifies(verifier, clock, certs, proxy):
+    presented = PresentedProxy(
+        certificates=certs,
+        proof=present(proxy, SERVER, clock.now(), "read").proof,
+    )
+    try:
+        verifier.verify(
+            presented, RequestContext(server=SERVER, operation="read")
+        )
+        return True
+    except ReproError:
+        return False
+
+
+MUTATIONS = [
+    "flip_signature",
+    "loosen_restriction",
+    "stretch_expiry",
+    "drop_middle",
+    "duplicate_link",
+    "swap_links",
+    "rename_grantor",
+]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    length=st.integers(2, 5),
+    mutation=st.sampled_from(MUTATIONS),
+    index=st.integers(0, 4),
+    byte=st.integers(0, 31),
+)
+def test_any_tampering_rejected(seed, length, mutation, index, byte):
+    clock, verifier, proxy = build(seed, length)
+    certs = list(proxy.certificates)
+    assert verifies(verifier, clock, tuple(certs), proxy)
+
+    i = index % len(certs)
+    if mutation == "flip_signature":
+        sig = bytearray(certs[i].signature)
+        sig[byte % len(sig)] ^= 0x01
+        certs[i] = dataclasses.replace(certs[i], signature=bytes(sig))
+    elif mutation == "loosen_restriction":
+        assume(certs[i].restrictions)
+        certs[i] = dataclasses.replace(
+            certs[i], restrictions=()
+        )
+    elif mutation == "stretch_expiry":
+        certs[i] = dataclasses.replace(
+            certs[i], expires_at=certs[i].expires_at + 9999.0
+        )
+    elif mutation == "drop_middle":
+        assume(len(certs) >= 3)
+        del certs[1 + (index % (len(certs) - 2))]
+    elif mutation == "duplicate_link":
+        assume(len(certs) >= 2)
+        j = 1 + (index % (len(certs) - 1))
+        certs.insert(j, certs[j])
+    elif mutation == "swap_links":
+        assume(len(certs) >= 3)
+        certs[1], certs[2] = certs[2], certs[1]
+    elif mutation == "rename_grantor":
+        certs[i] = dataclasses.replace(
+            certs[i], grantor=PrincipalId("mallory")
+        )
+        if i == 0:
+            # Give mallory a resolvable key so the rejection is about the
+            # signature, not a missing directory entry.
+            verifier.crypto.add_shared_key(
+                PrincipalId("mallory"),
+                SymmetricKey.generate(rng=Rng(seed=b"m")),
+            )
+
+    assert not verifies(verifier, clock, tuple(certs), proxy)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), length=st.integers(1, 6))
+def test_honest_chains_always_verify(seed, length):
+    clock, verifier, proxy = build(seed, length)
+    assert verifies(verifier, clock, proxy.certificates, proxy)

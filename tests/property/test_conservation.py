@@ -1,0 +1,137 @@
+"""Property: accounting conserves funds (§4).
+
+Under any sequence of transfers, check writes/deposits (same- and
+cross-server), certifications, and cancellations, the total of every
+currency across all *non-settlement* accounts — including held funds — never
+changes.  Settlement accounts are excluded because they are the local image
+of a claim whose other side lives on the peer server (the cross-server test
+asserts the two-server total instead).
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.services.accounting import SETTLEMENT_PREFIX
+from repro.testbed import Realm
+
+N_USERS = 3
+CURRENCIES = ["dollars", "pages"]
+INITIAL = 200
+
+
+def total(servers, currency):
+    return sum(
+        account.balance(currency) + account.held_total(currency)
+        for server in servers
+        for name, account in server.accounts.items()
+        if not name.startswith(SETTLEMENT_PREFIX)
+    )
+
+
+op = st.one_of(
+    st.tuples(
+        st.just("transfer"),
+        st.integers(0, N_USERS - 1),  # payor
+        st.integers(0, N_USERS - 1),  # payee
+        st.sampled_from(CURRENCIES),
+        st.integers(1, 80),
+    ),
+    st.tuples(
+        st.just("check"),
+        st.integers(0, N_USERS - 1),
+        st.integers(0, N_USERS - 1),
+        st.sampled_from(CURRENCIES),
+        st.integers(1, 80),
+    ),
+    st.tuples(
+        st.just("certified"),
+        st.integers(0, N_USERS - 1),
+        st.integers(0, N_USERS - 1),
+        st.sampled_from(CURRENCIES),
+        st.integers(1, 80),
+    ),
+)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(st.lists(op, max_size=8), st.integers(0, 2**32))
+def test_funds_conserved(operations, seed):
+    realm = Realm(seed=b"conserve-%d" % seed)
+    banks = [
+        realm.accounting_server("bank-a"),
+        realm.accounting_server("bank-b"),
+    ]
+    users = []
+    for index in range(N_USERS):
+        user = realm.user(f"user{index}")
+        bank = banks[index % 2]
+        bank.create_account(
+            f"user{index}", user.principal,
+            {c: INITIAL for c in CURRENCIES},
+        )
+        users.append((user, bank))
+
+    before = {c: total(banks, c) for c in CURRENCIES}
+
+    for operation in operations:
+        kind, payor_i, payee_i, currency, amount = operation
+        payor, payor_bank = users[payor_i]
+        payee, payee_bank = users[payee_i]
+        client = payor.accounting_client(payor_bank.principal)
+        try:
+            if kind == "transfer":
+                if payor_bank is payee_bank and payor_i != payee_i:
+                    client.transfer(
+                        f"user{payor_i}", f"user{payee_i}", currency, amount
+                    )
+            elif kind == "check":
+                if payor_i != payee_i:
+                    check = client.write_check(
+                        f"user{payor_i}", payee.principal, currency, amount
+                    )
+                    payee.accounting_client(
+                        payee_bank.principal
+                    ).deposit_check(check, f"user{payee_i}")
+            elif kind == "certified":
+                if payor_i != payee_i:
+                    check = client.write_check(
+                        f"user{payor_i}", payee.principal, currency, amount
+                    )
+                    client.certify_check(check, payee_bank.principal)
+                    payee.accounting_client(
+                        payee_bank.principal
+                    ).deposit_check(check, f"user{payee_i}")
+        except ReproError:
+            # Insufficient funds, replay, etc. — rejected operations must
+            # also conserve.
+            pass
+
+    after = {c: total(banks, c) for c in CURRENCIES}
+    assert after == before
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(1, 80), st.integers(0, 2**32))
+def test_settlement_accounts_mirror_cross_server_flow(amount, seed):
+    """Cross-server clearing books the same amount on both sides."""
+    realm = Realm(seed=b"settle-%d" % seed)
+    bank_a = realm.accounting_server("bank-a")
+    bank_b = realm.accounting_server("bank-b")
+    alice = realm.user("alice")
+    bob = realm.user("bob")
+    bank_a.create_account("alice", alice.principal, {"dollars": 100})
+    bank_b.create_account("bob", bob.principal)
+    if amount > 100:
+        return
+    check = alice.accounting_client(bank_a.principal).write_check(
+        "alice", bob.principal, "dollars", amount
+    )
+    bob.accounting_client(bank_b.principal).deposit_check(check, "bob")
+    settlement = bank_a.accounts[f"{SETTLEMENT_PREFIX}bank-b"]
+    assert settlement.balance("dollars") == amount
+    assert bank_b.accounts["bob"].balance("dollars") == amount

@@ -1,0 +1,57 @@
+"""Property tests for the crypto substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.crypto import mac, symmetric
+from repro.crypto.rng import Rng
+from repro.errors import IntegrityError, SignatureError
+
+KEY = symmetric.new_key(Rng(seed=b"prop-key"))
+OTHER_KEY = symmetric.new_key(Rng(seed=b"prop-key-2"))
+
+
+@given(st.binary(max_size=512), st.binary(max_size=32))
+def test_seal_unseal_round_trip(plaintext, associated):
+    box = symmetric.seal(KEY, plaintext, associated_data=associated)
+    assert symmetric.unseal(KEY, box, associated_data=associated) == plaintext
+
+
+@given(st.binary(max_size=128))
+def test_unseal_wrong_key_always_fails(plaintext):
+    box = symmetric.seal(KEY, plaintext)
+    with pytest.raises(IntegrityError):
+        symmetric.unseal(OTHER_KEY, box)
+
+
+@given(
+    st.binary(min_size=1, max_size=128),
+    st.integers(min_value=0),
+    st.integers(min_value=0, max_value=7),
+)
+def test_any_bitflip_detected(plaintext, byte_index, bit):
+    box = bytearray(symmetric.seal(KEY, plaintext))
+    box[byte_index % len(box)] ^= 1 << bit
+    with pytest.raises(IntegrityError):
+        symmetric.unseal(KEY, bytes(box))
+
+
+@given(st.binary(max_size=256))
+def test_mac_round_trip(message):
+    mac.verify(KEY, message, mac.tag(KEY, message))
+
+
+@given(st.binary(max_size=128), st.binary(max_size=128))
+def test_mac_distinguishes_messages(a, b):
+    if a != b:
+        with pytest.raises(SignatureError):
+            mac.verify(KEY, b, mac.tag(KEY, a))
+
+
+@given(st.integers(min_value=1, max_value=2**64))
+def test_rng_int_below_bound(bound):
+    rng = Rng(seed=b"bound")
+    for _ in range(5):
+        assert 0 <= rng.int_below(bound) < bound

@@ -1,0 +1,85 @@
+"""Property tests: canonical encoding is a total, injective round-trip."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.canonical import decode, encode
+
+# The closed value space the encoder supports.
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**128), max_value=2**128),
+    st.floats(allow_nan=False),
+    st.binary(max_size=64),
+    st.text(max_size=32),
+)
+
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=6),
+        st.dictionaries(st.text(max_size=8), children, max_size=6),
+    ),
+    max_leaves=20,
+)
+
+
+def normalize(value):
+    """Tuples decode as lists; otherwise identity."""
+    if isinstance(value, tuple):
+        return [normalize(v) for v in value]
+    if isinstance(value, list):
+        return [normalize(v) for v in value]
+    if isinstance(value, dict):
+        return {k: normalize(v) for k, v in value.items()}
+    return value
+
+
+@given(values)
+def test_round_trip(value):
+    assert decode(encode(value)) == normalize(value)
+
+
+def typed(value):
+    """Type-aware canonical form: Python's ``==`` conflates ``False == 0``
+    and ``1 == 1.0``, but the encoding (correctly) does not."""
+    if isinstance(value, (list, tuple)):
+        return ("list", tuple(typed(v) for v in value))
+    if isinstance(value, dict):
+        return (
+            "dict",
+            tuple(sorted((k, typed(v)) for k, v in value.items())),
+        )
+    if isinstance(value, float):
+        # 0.0 == -0.0 but they encode differently (distinct IEEE bits).
+        import struct
+
+        return ("float", struct.pack(">d", value))
+    return (type(value).__name__, value)
+
+
+@given(values, values)
+def test_injective(a, b):
+    if typed(a) != typed(b):
+        assert encode(a) != encode(b)
+    else:
+        assert encode(a) == encode(b)
+
+
+@given(values)
+def test_encoding_deterministic(value):
+    assert encode(value) == encode(value)
+
+
+@given(st.binary(max_size=128))
+def test_decoder_never_crashes_unexpectedly(blob):
+    """Arbitrary bytes either decode or raise DecodingError — nothing else."""
+    from repro.errors import DecodingError
+
+    try:
+        decode(blob)
+    except DecodingError:
+        pass

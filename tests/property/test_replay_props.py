@@ -1,0 +1,60 @@
+"""Property: accept-once means at most once per (grantor, id) per window."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clock import SimulatedClock
+from repro.core.replay import AcceptOnceRegistry, AuthenticatorCache
+from repro.encoding.identifiers import PrincipalId
+
+GRANTORS = [PrincipalId(f"g{i}") for i in range(3)]
+
+events = st.lists(
+    st.tuples(
+        st.integers(0, 2),          # grantor index
+        st.sampled_from("abcde"),   # identifier
+        st.floats(min_value=0.0, max_value=50.0),  # clock advance before
+        st.floats(min_value=1.0, max_value=100.0),  # ttl
+    ),
+    max_size=30,
+)
+
+
+@given(events)
+def test_at_most_once_within_lifetime(sequence):
+    clock = SimulatedClock(0.0)
+    registry = AcceptOnceRegistry(clock)
+    live = {}  # (grantor, id) -> expiry of the accepted registration
+    for grantor_i, identifier, advance, ttl in sequence:
+        clock.advance(advance)
+        grantor = GRANTORS[grantor_i]
+        key = (grantor, identifier)
+        accepted = registry.register(grantor, identifier, clock.now() + ttl)
+        previously_live = key in live and live[key] >= clock.now()
+        # Accepted iff no live registration existed.
+        assert accepted == (not previously_live)
+        if accepted:
+            live[key] = clock.now() + ttl
+
+
+@given(
+    st.lists(
+        st.tuples(st.binary(min_size=1, max_size=4), st.floats(0, 30)),
+        max_size=30,
+    )
+)
+def test_authenticator_cache_window(sequence):
+    window = 20.0
+    clock = SimulatedClock(0.0)
+    cache = AuthenticatorCache(clock, window=window)
+    last_accepted = {}
+    for digest, advance in sequence:
+        clock.advance(advance)
+        accepted = cache.register(digest)
+        if digest in last_accepted:
+            expected = clock.now() > last_accepted[digest] + window
+        else:
+            expected = True
+        assert accepted == expected
+        if accepted:
+            last_accepted[digest] = clock.now()

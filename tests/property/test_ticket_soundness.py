@@ -1,0 +1,67 @@
+"""Property: sealed tickets and authenticators reject any bit-level tampering."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.crypto.keys import SymmetricKey
+from repro.crypto.rng import Rng
+from repro.encoding.identifiers import PrincipalId
+from repro.errors import TicketError
+from repro.kerberos.ticket import (
+    Authenticator,
+    AuthenticatorBody,
+    Ticket,
+    TicketBody,
+)
+
+RNG = Rng(seed=b"ticket-fuzz")
+SERVER_KEY = SymmetricKey.generate(rng=RNG)
+SESSION_KEY = SymmetricKey.generate(rng=RNG)
+
+BODY = TicketBody(
+    client=PrincipalId("alice"),
+    server=PrincipalId("server"),
+    session_key=SESSION_KEY,
+    auth_time=0.0,
+    expires_at=3600.0,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    byte_index=st.integers(min_value=0),
+    bit=st.integers(0, 7),
+)
+def test_ticket_bitflips_rejected(byte_index, bit):
+    ticket = Ticket.seal(BODY, SERVER_KEY, rng=RNG)
+    blob = bytearray(ticket.blob)
+    blob[byte_index % len(blob)] ^= 1 << bit
+    tampered = Ticket(server=ticket.server, blob=bytes(blob))
+    with pytest.raises(TicketError):
+        tampered.open(SERVER_KEY)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    byte_index=st.integers(min_value=0),
+    bit=st.integers(0, 7),
+)
+def test_authenticator_bitflips_rejected(byte_index, bit):
+    auth = Authenticator.seal(
+        AuthenticatorBody(client=PrincipalId("alice"), timestamp=1.0),
+        SESSION_KEY,
+        rng=RNG,
+    )
+    blob = bytearray(auth.blob)
+    blob[byte_index % len(blob)] ^= 1 << bit
+    with pytest.raises(TicketError):
+        Authenticator(blob=bytes(blob)).open(SESSION_KEY)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.binary(max_size=200))
+def test_garbage_blobs_rejected(blob):
+    with pytest.raises(TicketError):
+        Ticket(server=PrincipalId("server"), blob=blob).open(SERVER_KEY)

@@ -1,0 +1,432 @@
+"""The §5 comparator baselines: behaviour and their characteristic costs."""
+
+import pytest
+
+from repro.baselines import (
+    AmoebaBank,
+    AmoebaClient,
+    AmoebaServer,
+    DssaPrincipal,
+    DssaVerifier,
+    GrapevineEndServer,
+    GrapevineRegistry,
+    KargerEndServer,
+    KargerPasswordServer,
+    PlainCapabilityServer,
+    SollinsAuthServer,
+    SollinsEndServer,
+    create_passport,
+    extend_passport,
+)
+from repro.clock import SimulatedClock
+from repro.core.restrictions import Authorized, AuthorizedEntry, Quota
+from repro.crypto.keys import SymmetricKey
+from repro.crypto.rng import Rng
+from repro.encoding.identifiers import PrincipalId
+from repro.errors import (
+    AccountingError,
+    AuthorizationDenied,
+    InsufficientFundsError,
+)
+from repro.net import Eavesdropper, Network
+from repro.net.message import raise_if_error
+
+START = 1_000_000.0
+ALICE = PrincipalId("alice")
+BOB = PrincipalId("bob")
+
+
+@pytest.fixture
+def net(rng):
+    clock = SimulatedClock(START)
+    return clock, Network(clock, rng=rng)
+
+
+class TestSollins:
+    @pytest.fixture
+    def world(self, net):
+        clock, network = net
+        auth = SollinsAuthServer(PrincipalId("sollins-auth"), network, clock)
+        end = SollinsEndServer(
+            PrincipalId("sollins-end"), network, clock, auth.principal
+        )
+        end.register_operation(
+            "read", lambda originator, payload: {"by": originator.to_wire()}
+        )
+        return clock, network, auth, end
+
+    def test_passport_chain_verifies(self, world, rng):
+        clock, network, auth, end = world
+        key_a = auth.register(ALICE)
+        key_b = auth.register(BOB)
+        passport = create_passport(ALICE, key_a, ())
+        passport = extend_passport(
+            passport, BOB, key_b, (Quota(currency="c", limit=5),)
+        )
+        reply = raise_if_error(
+            network.send(
+                BOB, end.principal, "request",
+                {"passport": passport.to_wire(), "operation": "read"},
+            )
+        )
+        assert reply["by"] == ALICE.to_wire()
+
+    def test_verification_is_online(self, world, rng):
+        """The defining §3.4 difference: auth-server contact per request."""
+        clock, network, auth, end = world
+        key_a = auth.register(ALICE)
+        passport = create_passport(ALICE, key_a, ())
+        before = network.metrics.snapshot()
+        network.send(
+            ALICE, end.principal, "request",
+            {"passport": passport.to_wire(), "operation": "read"},
+        )
+        delta = network.metrics.delta_since(before)
+        assert delta.messages_to(auth.principal) == 1
+
+    def test_forged_link_rejected(self, world, rng):
+        clock, network, auth, end = world
+        key_a = auth.register(ALICE)
+        auth.register(BOB)
+        wrong_key = SymmetricKey.generate(rng=rng)
+        passport = create_passport(ALICE, key_a, ())
+        forged = extend_passport(passport, BOB, wrong_key, ())
+        with pytest.raises(AuthorizationDenied):
+            raise_if_error(
+                network.send(
+                    BOB, end.principal, "request",
+                    {"passport": forged.to_wire(), "operation": "read"},
+                )
+            )
+
+    def test_restrictions_enforced(self, world, rng):
+        from repro.errors import RestrictionViolation
+
+        clock, network, auth, end = world
+        key_a = auth.register(ALICE)
+        passport = create_passport(
+            ALICE, key_a,
+            (Authorized(entries=(AuthorizedEntry("x", ("read",)),)),),
+        )
+        with pytest.raises(RestrictionViolation):
+            raise_if_error(
+                network.send(
+                    ALICE, end.principal, "request",
+                    {
+                        "passport": passport.to_wire(),
+                        "operation": "read",
+                        "target": "y",
+                    },
+                )
+            )
+
+
+class TestKarger:
+    @pytest.fixture
+    def world(self, net, rng):
+        clock, network = net
+        pw = KargerPasswordServer(
+            PrincipalId("karger-pw"), network, clock, rng=rng
+        )
+        end = KargerEndServer(
+            PrincipalId("karger-end"), network, clock, pw.principal
+        )
+        end.register_operation(
+            "read", lambda user, payload: {"as": user.to_wire()}
+        )
+        return clock, network, pw, end
+
+    def test_forwarded_password_grants_full_identity(self, world):
+        clock, network, pw, end = world
+        login = network.send(ALICE, pw.principal, "login", {})
+        password = login["password"]
+        # Bob uses alice's forwarded password: acts fully as alice.
+        reply = raise_if_error(
+            network.send(
+                BOB, end.principal, "request",
+                {"password": password, "operation": "read"},
+            )
+        )
+        assert reply["as"] == ALICE.to_wire()
+
+    def test_unknown_password_rejected(self, world):
+        clock, network, pw, end = world
+        with pytest.raises(AuthorizationDenied):
+            raise_if_error(
+                network.send(
+                    BOB, end.principal, "request",
+                    {"password": "bogus", "operation": "read"},
+                )
+            )
+
+    def test_logout_revokes(self, world):
+        clock, network, pw, end = world
+        password = network.send(ALICE, pw.principal, "login", {})["password"]
+        network.send(ALICE, pw.principal, "logout", {})
+        with pytest.raises(AuthorizationDenied):
+            raise_if_error(
+                network.send(
+                    BOB, end.principal, "request",
+                    {"password": password, "operation": "read"},
+                )
+            )
+
+    def test_eavesdropper_steals_password(self, world):
+        """The flaw: the password itself crosses the network."""
+        clock, network, pw, end = world
+        mallory = Eavesdropper()
+        mallory.attach(network)
+        password = network.send(ALICE, pw.principal, "login", {})["password"]
+        network.send(
+            ALICE, end.principal, "request",
+            {"password": password, "operation": "read"},
+        )
+        captured = mallory.last_of_type("request")
+        stolen = captured.payload["password"]
+        reply = raise_if_error(
+            network.send(
+                mallory.principal, end.principal, "request",
+                {"password": stolen, "operation": "read"},
+            )
+        )
+        assert reply["as"] == ALICE.to_wire()  # full impersonation
+
+
+class TestDssa:
+    def test_role_delegation_verifies(self, rng):
+        user = DssaPrincipal(ALICE, rng=rng)
+        verifier = DssaVerifier()
+        verifier.register(ALICE, user.public_key)
+        role = user.create_role((("read", "obj/1"),), expires_at=START + 100)
+        cert = user.delegate(role, BOB, expires_at=START + 100)
+        assert verifier.verify(cert, BOB, "read", "obj/1", now=START) == ALICE
+
+    def test_rights_outside_role_rejected(self, rng):
+        user = DssaPrincipal(ALICE, rng=rng)
+        verifier = DssaVerifier()
+        verifier.register(ALICE, user.public_key)
+        role = user.create_role((("read", "obj/1"),), expires_at=START + 100)
+        cert = user.delegate(role, BOB, expires_at=START + 100)
+        with pytest.raises(AuthorizationDenied):
+            verifier.verify(cert, BOB, "read", "obj/2", now=START)
+
+    def test_wrong_delegate_rejected(self, rng):
+        user = DssaPrincipal(ALICE, rng=rng)
+        verifier = DssaVerifier()
+        verifier.register(ALICE, user.public_key)
+        role = user.create_role((("read", "obj/1"),), expires_at=START + 100)
+        cert = user.delegate(role, BOB, expires_at=START + 100)
+        with pytest.raises(AuthorizationDenied):
+            verifier.verify(
+                cert, PrincipalId("carol"), "read", "obj/1", now=START
+            )
+
+    def test_expired_certificates_rejected(self, rng):
+        user = DssaPrincipal(ALICE, rng=rng)
+        verifier = DssaVerifier()
+        verifier.register(ALICE, user.public_key)
+        role = user.create_role((("read", "obj/1"),), expires_at=START + 1)
+        cert = user.delegate(role, BOB, expires_at=START + 1)
+        with pytest.raises(AuthorizationDenied):
+            verifier.verify(cert, BOB, "read", "obj/1", now=START + 2)
+
+    def test_each_rights_subset_needs_new_role(self, rng):
+        """The §5 critique, structurally: distinct subsets, distinct roles."""
+        user = DssaPrincipal(ALICE, rng=rng)
+        r1 = user.create_role((("read", "obj/1"),), expires_at=START + 100)
+        r2 = user.create_role((("read", "obj/2"),), expires_at=START + 100)
+        assert (
+            r1.certificate.role_public != r2.certificate.role_public
+        )
+        assert len(user.roles) == 2
+
+
+class TestAmoeba:
+    @pytest.fixture
+    def world(self, net):
+        clock, network = net
+        bank = AmoebaBank(PrincipalId("amoeba-bank"), network, clock)
+        bank.create_account("alice", ALICE, {"credits": 100})
+        server = AmoebaServer(
+            PrincipalId("amoeba-srv"), network, clock,
+            bank.principal, "srv-account", "credits", price=2,
+        )
+        bank.create_account("srv-account", server.principal)
+        client = AmoebaClient(ALICE, network, bank.principal, "alice")
+        return clock, network, bank, server, client
+
+    def test_prepay_then_serve(self, world):
+        clock, network, bank, server, client = world
+        client.prepay(server, "credits", 10)
+        for _ in range(5):
+            assert client.use(server)["served"]
+        assert bank.balance_of("alice")["credits"] == 90
+
+    def test_exhausted_prepayment_rejected(self, world):
+        clock, network, bank, server, client = world
+        client.prepay(server, "credits", 2)
+        client.use(server)
+        with pytest.raises(InsufficientFundsError):
+            client.use(server)
+
+    def test_service_before_prepay_rejected(self, world):
+        clock, network, bank, server, client = world
+        with pytest.raises(InsufficientFundsError):
+            client.use(server)
+
+    def test_false_announcement_rejected(self, world):
+        clock, network, bank, server, client = world
+        with pytest.raises(AccountingError):
+            raise_if_error(
+                network.send(
+                    ALICE, server.principal, "announce-prepayment",
+                    {"amount": 50},
+                )
+            )
+
+    def test_only_owner_transfers(self, world):
+        clock, network, bank, server, client = world
+        with pytest.raises(AccountingError):
+            raise_if_error(
+                network.send(
+                    BOB, bank.principal, "transfer",
+                    {
+                        "from": "alice", "to": "srv-account",
+                        "currency": "credits", "amount": 1,
+                    },
+                )
+            )
+
+
+class TestGrapevine:
+    @pytest.fixture
+    def world(self, net):
+        clock, network = net
+        registry = GrapevineRegistry(PrincipalId("registry"), network, clock)
+        registry.create_group("staff", (ALICE,))
+        end = GrapevineEndServer(
+            PrincipalId("gv-end"), network, clock, registry.principal, "staff"
+        )
+        end.register_operation("read", lambda who, payload: {"ok": True})
+        return clock, network, registry, end
+
+    def test_member_allowed(self, world):
+        clock, network, registry, end = world
+        reply = raise_if_error(
+            network.send(ALICE, end.principal, "request", {"operation": "read"})
+        )
+        assert reply["ok"]
+
+    def test_non_member_denied(self, world):
+        clock, network, registry, end = world
+        with pytest.raises(AuthorizationDenied):
+            raise_if_error(
+                network.send(BOB, end.principal, "request", {"operation": "read"})
+            )
+
+    def test_every_request_hits_registry(self, world):
+        clock, network, registry, end = world
+        before = network.metrics.snapshot()
+        for _ in range(5):
+            network.send(ALICE, end.principal, "request", {"operation": "read"})
+        delta = network.metrics.delta_since(before)
+        assert delta.messages_to(registry.principal) == 5
+
+    def test_revocation_immediate(self, world):
+        clock, network, registry, end = world
+        network.send(ALICE, end.principal, "request", {"operation": "read"})
+        registry.remove_member("staff", ALICE)
+        with pytest.raises(AuthorizationDenied):
+            raise_if_error(
+                network.send(ALICE, end.principal, "request", {"operation": "read"})
+            )
+
+
+class TestPlainCapability:
+    @pytest.fixture
+    def world(self, net, rng):
+        clock, network = net
+        server = PlainCapabilityServer(
+            PrincipalId("cap-srv"), network, clock, rng=rng
+        )
+        server.add_owner(ALICE)
+        server.register_operation("read", lambda who, payload: {"data": b"D"})
+        return clock, network, server
+
+    def test_issue_and_use(self, world):
+        clock, network, server = world
+        token = network.send(
+            ALICE, server.principal, "issue",
+            {"operations": ["read"], "target": "f", "expires_at": None},
+        )["token"]
+        reply = raise_if_error(
+            network.send(
+                BOB, server.principal, "request",
+                {"token": token, "operation": "read", "target": "f"},
+            )
+        )
+        assert reply["data"] == b"D"
+
+    def test_eavesdropper_steals_capability(self, world):
+        """§3.1's attack succeeds against the traditional design."""
+        clock, network, server = world
+        mallory = Eavesdropper()
+        token = network.send(
+            ALICE, server.principal, "issue",
+            {"operations": ["read"], "target": "f", "expires_at": None},
+        )["token"]
+        mallory.attach(network)
+        network.send(
+            BOB, server.principal, "request",
+            {"token": token, "operation": "read", "target": "f"},
+        )
+        stolen = mallory.last_of_type("request").payload["token"]
+        reply = raise_if_error(
+            network.send(
+                mallory.principal, server.principal, "request",
+                {"token": stolen, "operation": "read", "target": "f"},
+            )
+        )
+        assert reply["data"] == b"D"  # the theft works here
+
+    def test_scope_enforced(self, world):
+        clock, network, server = world
+        token = network.send(
+            ALICE, server.principal, "issue",
+            {"operations": ["read"], "target": "f", "expires_at": None},
+        )["token"]
+        with pytest.raises(AuthorizationDenied):
+            raise_if_error(
+                network.send(
+                    BOB, server.principal, "request",
+                    {"token": token, "operation": "write", "target": "f"},
+                )
+            )
+
+    def test_expiry(self, world):
+        clock, network, server = world
+        token = network.send(
+            ALICE, server.principal, "issue",
+            {
+                "operations": ["read"], "target": "f",
+                "expires_at": clock.now() + 1,
+            },
+        )["token"]
+        clock.advance(2)
+        with pytest.raises(AuthorizationDenied):
+            raise_if_error(
+                network.send(
+                    BOB, server.principal, "request",
+                    {"token": token, "operation": "read", "target": "f"},
+                )
+            )
+
+    def test_non_owner_cannot_issue(self, world):
+        clock, network, server = world
+        with pytest.raises(AuthorizationDenied):
+            raise_if_error(
+                network.send(
+                    BOB, server.principal, "issue",
+                    {"operations": ["read"], "target": "f", "expires_at": None},
+                )
+            )

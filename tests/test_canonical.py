@@ -1,0 +1,161 @@
+"""Canonical TLV encoding: round-trips, canonicality, and rejection paths."""
+
+import math
+
+import pytest
+
+from repro.encoding.canonical import decode, encode
+from repro.errors import DecodingError, EncodingError
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            1,
+            -1,
+            255,
+            256,
+            -256,
+            2**64,
+            -(2**64),
+            2**521 - 1,
+            0.0,
+            1.5,
+            -273.15,
+            float("inf"),
+            float("-inf"),
+            b"",
+            b"\x00\xff",
+            b"binary \x01\x02",
+            "",
+            "hello",
+            "uniçode ☃",
+            [],
+            [1, 2, 3],
+            ["mixed", 1, None, b"x"],
+            [[1], [2, [3]]],
+            {},
+            {"a": 1},
+            {"nested": {"k": [1, 2]}, "b": b"v"},
+        ],
+    )
+    def test_round_trip(self, value):
+        assert decode(encode(value)) == value
+
+    def test_tuple_encodes_as_list(self):
+        assert decode(encode((1, 2))) == [1, 2]
+
+    def test_dict_key_order_irrelevant(self):
+        a = {"x": 1, "y": 2}
+        b = {"y": 2, "x": 1}
+        assert encode(a) == encode(b)
+
+
+class TestInjectivity:
+    """Distinct values must encode differently (signature safety)."""
+
+    @pytest.mark.parametrize(
+        "left,right",
+        [
+            (["ab", "c"], ["a", "bc"]),
+            ([b"ab", b"c"], [b"a", b"bc"]),
+            ([1, [2]], [[1], 2]),
+            ("1", 1),
+            (b"1", "1"),
+            (1, 1.0),
+            (True, 1),
+            (False, 0),
+            (None, b""),
+            ([], {}),
+            ({"a": [1, 2]}, {"a": [1], "b": [2]}),
+        ],
+    )
+    def test_distinct_values_distinct_encodings(self, left, right):
+        assert encode(left) != encode(right)
+
+
+class TestRejection:
+    def test_nan_rejected_on_encode(self):
+        with pytest.raises(EncodingError):
+            encode(float("nan"))
+
+    def test_unsupported_type(self):
+        with pytest.raises(EncodingError):
+            encode(object())
+
+    def test_set_unsupported(self):
+        with pytest.raises(EncodingError):
+            encode({1, 2})
+
+    def test_non_string_dict_key(self):
+        with pytest.raises(EncodingError):
+            encode({1: "x"})
+
+    def test_trailing_garbage(self):
+        with pytest.raises(DecodingError):
+            decode(encode(1) + b"\x00")
+
+    def test_truncated_header(self):
+        with pytest.raises(DecodingError):
+            decode(b"I\x00\x00")
+
+    def test_truncated_payload(self):
+        data = encode(b"hello")
+        with pytest.raises(DecodingError):
+            decode(data[:-1])
+
+    def test_unknown_tag(self):
+        with pytest.raises(DecodingError):
+            decode(b"Z\x00\x00\x00\x00")
+
+    def test_non_minimal_int_rejected(self):
+        # 1 encoded with an extra leading zero byte.
+        bad = b"I" + (2).to_bytes(4, "big") + b"\x00\x01"
+        with pytest.raises(DecodingError):
+            decode(bad)
+
+    def test_bad_bool_payload(self):
+        bad = b"F" + (1).to_bytes(4, "big") + b"\x02"
+        with pytest.raises(DecodingError):
+            decode(bad)
+
+    def test_unsorted_dict_keys_rejected(self):
+        # Manually build {"b":1,"a":2} in the wrong order.
+        inner = encode("b") + encode(1) + encode("a") + encode(2)
+        bad = b"M" + len(inner).to_bytes(4, "big") + inner
+        with pytest.raises(DecodingError):
+            decode(bad)
+
+    def test_duplicate_dict_keys_rejected(self):
+        inner = encode("a") + encode(1) + encode("a") + encode(2)
+        bad = b"M" + len(inner).to_bytes(4, "big") + inner
+        with pytest.raises(DecodingError):
+            decode(bad)
+
+    def test_dict_key_without_value(self):
+        inner = encode("a")
+        bad = b"M" + len(inner).to_bytes(4, "big") + inner
+        with pytest.raises(DecodingError):
+            decode(bad)
+
+    def test_invalid_utf8_string(self):
+        bad = b"S" + (2).to_bytes(4, "big") + b"\xff\xfe"
+        with pytest.raises(DecodingError):
+            decode(bad)
+
+    def test_nan_float_payload_rejected(self):
+        import struct
+
+        bad = b"D" + (8).to_bytes(4, "big") + struct.pack(">d", math.nan)
+        with pytest.raises(DecodingError):
+            decode(bad)
+
+    def test_empty_int_payload(self):
+        bad = b"I" + (0).to_bytes(4, "big")
+        with pytest.raises(DecodingError):
+            decode(bad)

@@ -1,0 +1,46 @@
+"""Injectable clocks."""
+
+import pytest
+
+from repro.clock import NEVER, SimulatedClock, SystemClock
+
+
+class TestSimulatedClock:
+    def test_starts_where_told(self):
+        assert SimulatedClock(42.0).now() == 42.0
+
+    def test_advance(self):
+        clock = SimulatedClock(10.0)
+        assert clock.advance(5.0) == 15.0
+        assert clock.now() == 15.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedClock().advance(-1.0)
+
+    def test_set_forward(self):
+        clock = SimulatedClock(1.0)
+        clock.set(100.0)
+        assert clock.now() == 100.0
+
+    def test_set_backwards_rejected(self):
+        clock = SimulatedClock(100.0)
+        with pytest.raises(ValueError):
+            clock.set(99.0)
+
+    def test_after(self):
+        clock = SimulatedClock(50.0)
+        assert clock.after(10.0) == 60.0
+
+    def test_never_is_after_everything(self):
+        clock = SimulatedClock(0.0)
+        clock.advance(1e18)
+        assert NEVER > clock.now()
+
+
+class TestSystemClock:
+    def test_monotone_nondecreasing(self):
+        clock = SystemClock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a

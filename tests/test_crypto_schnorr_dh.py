@@ -1,0 +1,113 @@
+"""Schnorr signatures, integrated encryption, and Diffie-Hellman."""
+
+import pytest
+
+from repro.crypto import dh, schnorr
+from repro.crypto.dh import TEST_GROUP
+from repro.crypto.rng import Rng
+from repro.errors import CryptoError, IntegrityError, SignatureError
+
+
+@pytest.fixture
+def key(rng):
+    return schnorr.generate_keypair(TEST_GROUP, rng=rng)
+
+
+class TestSchnorrSignatures:
+    def test_sign_verify(self, key, rng):
+        sig = schnorr.sign(key, b"message", rng=rng)
+        schnorr.verify(key.public, b"message", sig)
+
+    def test_wrong_message(self, key, rng):
+        sig = schnorr.sign(key, b"message", rng=rng)
+        with pytest.raises(SignatureError):
+            schnorr.verify(key.public, b"other", sig)
+
+    def test_tampered_signature(self, key, rng):
+        sig = bytearray(schnorr.sign(key, b"m", rng=rng))
+        sig[5] ^= 1
+        with pytest.raises(SignatureError):
+            schnorr.verify(key.public, b"m", bytes(sig))
+
+    def test_wrong_key(self, key, rng):
+        other = schnorr.generate_keypair(TEST_GROUP, rng=rng)
+        sig = schnorr.sign(key, b"m", rng=rng)
+        with pytest.raises(SignatureError):
+            schnorr.verify(other.public, b"m", sig)
+
+    def test_bad_length(self, key):
+        with pytest.raises(SignatureError):
+            schnorr.verify(key.public, b"m", b"\x00" * 7)
+
+    def test_signatures_randomized(self, key):
+        assert schnorr.sign(key, b"m") != schnorr.sign(key, b"m")
+
+    def test_public_wire_round_trip(self, key):
+        pub = schnorr.SchnorrPublicKey.from_wire(key.public.to_wire())
+        assert pub == key.public
+
+    def test_fingerprint_distinct(self, key, rng):
+        other = schnorr.generate_keypair(TEST_GROUP, rng=rng)
+        assert key.public.fingerprint() != other.public.fingerprint()
+
+
+class TestSchnorrIes:
+    def test_round_trip(self, key, rng):
+        box = schnorr.encrypt_to(key.public, b"proxy key bytes", rng=rng)
+        assert schnorr.decrypt(key, box) == b"proxy key bytes"
+
+    def test_randomized(self, key):
+        assert schnorr.encrypt_to(key.public, b"x") != schnorr.encrypt_to(
+            key.public, b"x"
+        )
+
+    def test_wrong_key(self, key, rng):
+        other = schnorr.generate_keypair(TEST_GROUP, rng=rng)
+        box = schnorr.encrypt_to(key.public, b"secret")
+        with pytest.raises(IntegrityError):
+            schnorr.decrypt(other, box)
+
+    def test_tamper_detected(self, key):
+        box = bytearray(schnorr.encrypt_to(key.public, b"secret"))
+        box[-1] ^= 1
+        with pytest.raises(IntegrityError):
+            schnorr.decrypt(key, bytes(box))
+
+    def test_truncated(self, key):
+        with pytest.raises(CryptoError):
+            schnorr.decrypt(key, b"tiny")
+
+    def test_plaintext_confidential(self, key):
+        secret = b"very secret conventional proxy key"
+        assert secret not in schnorr.encrypt_to(key.public, secret)
+
+
+class TestDiffieHellman:
+    def test_agreement(self, rng):
+        a = dh.generate_keypair(TEST_GROUP, rng=rng)
+        b = dh.generate_keypair(TEST_GROUP, rng=rng)
+        assert dh.shared_key(a, b.public) == dh.shared_key(b, a.public)
+
+    def test_distinct_pairs_distinct_keys(self, rng):
+        a = dh.generate_keypair(TEST_GROUP, rng=rng)
+        b = dh.generate_keypair(TEST_GROUP, rng=rng)
+        c = dh.generate_keypair(TEST_GROUP, rng=rng)
+        assert dh.shared_key(a, b.public) != dh.shared_key(a, c.public)
+
+    def test_out_of_range_peer_rejected(self, rng):
+        a = dh.generate_keypair(TEST_GROUP, rng=rng)
+        with pytest.raises(CryptoError):
+            dh.shared_key(a, 0)
+        with pytest.raises(CryptoError):
+            dh.shared_key(a, TEST_GROUP.p - 1)
+        with pytest.raises(CryptoError):
+            dh.shared_key(a, TEST_GROUP.p + 5)
+
+    def test_key_length(self, rng):
+        a = dh.generate_keypair(TEST_GROUP, rng=rng)
+        b = dh.generate_keypair(TEST_GROUP, rng=rng)
+        assert len(dh.shared_key(a, b.public)) == 32
+
+    def test_default_group_is_rfc3526(self):
+        assert dh.DEFAULT_GROUP.p == dh.RFC3526_PRIME_2048
+        assert dh.DEFAULT_GROUP.bit_length == 2048

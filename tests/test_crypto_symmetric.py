@@ -1,0 +1,94 @@
+"""Authenticated symmetric encryption and HMAC sealing."""
+
+import pytest
+
+from repro.crypto import mac, symmetric
+from repro.crypto.rng import Rng
+from repro.errors import IntegrityError, SignatureError
+
+
+@pytest.fixture
+def key(rng):
+    return symmetric.new_key(rng)
+
+
+class TestSeal:
+    def test_round_trip(self, key):
+        box = symmetric.seal(key, b"plaintext")
+        assert symmetric.unseal(key, box) == b"plaintext"
+
+    def test_empty_plaintext(self, key):
+        assert symmetric.unseal(key, symmetric.seal(key, b"")) == b""
+
+    def test_large_plaintext(self, key):
+        data = bytes(range(256)) * 100
+        assert symmetric.unseal(key, symmetric.seal(key, data)) == data
+
+    def test_randomized_nonces(self, key):
+        assert symmetric.seal(key, b"x") != symmetric.seal(key, b"x")
+
+    def test_wrong_key_rejected(self, key, rng):
+        other = symmetric.new_key(rng)
+        box = symmetric.seal(key, b"secret")
+        with pytest.raises(IntegrityError):
+            symmetric.unseal(other, box)
+
+    def test_ciphertext_tamper_rejected(self, key):
+        box = bytearray(symmetric.seal(key, b"secret data"))
+        box[symmetric.NONCE_LEN] ^= 1
+        with pytest.raises(IntegrityError):
+            symmetric.unseal(key, bytes(box))
+
+    def test_tag_tamper_rejected(self, key):
+        box = bytearray(symmetric.seal(key, b"secret data"))
+        box[-1] ^= 1
+        with pytest.raises(IntegrityError):
+            symmetric.unseal(key, bytes(box))
+
+    def test_nonce_tamper_rejected(self, key):
+        box = bytearray(symmetric.seal(key, b"secret data"))
+        box[0] ^= 1
+        with pytest.raises(IntegrityError):
+            symmetric.unseal(key, bytes(box))
+
+    def test_truncated_box_rejected(self, key):
+        with pytest.raises(IntegrityError):
+            symmetric.unseal(key, b"short")
+
+    def test_associated_data_binds(self, key):
+        box = symmetric.seal(key, b"p", associated_data=b"ctx-a")
+        assert symmetric.unseal(key, box, associated_data=b"ctx-a") == b"p"
+        with pytest.raises(IntegrityError):
+            symmetric.unseal(key, box, associated_data=b"ctx-b")
+
+    def test_bad_key_length_rejected(self):
+        with pytest.raises(ValueError):
+            symmetric.seal(b"short-key", b"p")
+        with pytest.raises(ValueError):
+            symmetric.unseal(b"short-key", b"x" * 64)
+
+    def test_plaintext_confidential(self, key):
+        """The sealed box must not contain the plaintext verbatim."""
+        secret = b"extremely secret proxy key material"
+        assert secret not in symmetric.seal(key, secret)
+
+
+class TestMac:
+    def test_tag_verify(self, key):
+        t = mac.tag(key, b"msg")
+        mac.verify(key, b"msg", t)
+
+    def test_tag_deterministic(self, key):
+        assert mac.tag(key, b"m") == mac.tag(key, b"m")
+
+    def test_wrong_message(self, key):
+        with pytest.raises(SignatureError):
+            mac.verify(key, b"other", mac.tag(key, b"msg"))
+
+    def test_wrong_key(self, key, rng):
+        other = symmetric.new_key(rng)
+        with pytest.raises(SignatureError):
+            mac.verify(other, b"msg", mac.tag(key, b"msg"))
+
+    def test_tag_length(self, key):
+        assert len(mac.tag(key, b"m")) == mac.TAG_LEN

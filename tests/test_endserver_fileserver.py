@@ -1,0 +1,278 @@
+"""The end-server framework and the file server (§3.5 hybrid authorization)."""
+
+import pytest
+
+from repro.acl import AclEntry, Anyone, Compound, GroupSubject, SinglePrincipal
+from repro.core.restrictions import (
+    Authorized,
+    AuthorizedEntry,
+    ForUseByGroup,
+    Grantee,
+    Quota,
+)
+from repro.errors import (
+    AuthorizationDenied,
+    RestrictionViolation,
+    ServiceError,
+)
+from repro.kerberos.proxy_support import grant_via_credentials
+from repro.testbed import Realm
+
+
+@pytest.fixture
+def world():
+    realm = Realm(seed=b"endserver-test")
+    alice = realm.user("alice")
+    bob = realm.user("bob")
+    fs = realm.file_server("files")
+    fs.grant_owner(alice.principal)
+    fs.put("doc/a.txt", b"contents A")
+    fs.put("doc/b.txt", b"contents B")
+    return realm, alice, bob, fs
+
+
+class TestDirectAccess:
+    def test_owner_reads(self, world):
+        realm, alice, bob, fs = world
+        out = alice.client_for(fs.principal).request("read", "doc/a.txt")
+        assert out["data"] == b"contents A"
+
+    def test_stranger_denied(self, world):
+        realm, alice, bob, fs = world
+        with pytest.raises(AuthorizationDenied):
+            bob.client_for(fs.principal).request("read", "doc/a.txt")
+
+    def test_no_session_no_proxy_denied(self, world):
+        realm, alice, bob, fs = world
+        client = alice.client_for(fs.principal)
+        with pytest.raises(AuthorizationDenied):
+            client.request("read", "doc/a.txt", with_session=False)
+
+    def test_write_and_stat(self, world):
+        realm, alice, bob, fs = world
+        client = alice.client_for(fs.principal)
+        client.request(
+            "write", "doc/new.txt",
+            args={"data": b"hello"}, amounts={"bytes": 5},
+        )
+        out = client.request("stat", "doc/new.txt")
+        assert out == {"exists": True, "size": 5}
+
+    def test_write_underdeclared_bytes_rejected(self, world):
+        realm, alice, bob, fs = world
+        client = alice.client_for(fs.principal)
+        with pytest.raises(ServiceError):
+            client.request(
+                "write", "doc/x", args={"data": b"hello"},
+                amounts={"bytes": 1},
+            )
+
+    def test_delete_and_list(self, world):
+        realm, alice, bob, fs = world
+        client = alice.client_for(fs.principal)
+        assert client.request("delete", "doc/a.txt") == {"deleted": True}
+        assert client.request("list", "doc/")["paths"] == ["doc/b.txt"]
+
+    def test_unknown_operation(self, world):
+        realm, alice, bob, fs = world
+        with pytest.raises(ServiceError):
+            alice.client_for(fs.principal).request("frobnicate", "x")
+
+    def test_read_missing_file(self, world):
+        realm, alice, bob, fs = world
+        with pytest.raises(ServiceError):
+            alice.client_for(fs.principal).request("read", "nope")
+
+
+class TestCapabilityPath:
+    def _capability(self, realm, alice, fs, entries):
+        creds = alice.kerberos.get_ticket(fs.principal)
+        return grant_via_credentials(
+            creds, (Authorized(entries=entries),), realm.clock.now()
+        )
+
+    def test_capability_conveys_owner_rights(self, world):
+        realm, alice, bob, fs = world
+        cap = self._capability(
+            realm, alice, fs, (AuthorizedEntry("doc/a.txt", ("read",)),)
+        )
+        out = bob.client_for(fs.principal).request(
+            "read", "doc/a.txt", proxy=cap
+        )
+        assert out["data"] == b"contents A"
+
+    def test_capability_scope_enforced(self, world):
+        realm, alice, bob, fs = world
+        cap = self._capability(
+            realm, alice, fs, (AuthorizedEntry("doc/a.txt", ("read",)),)
+        )
+        client = bob.client_for(fs.principal)
+        with pytest.raises(RestrictionViolation):
+            client.request("read", "doc/b.txt", proxy=cap)
+        with pytest.raises(RestrictionViolation):
+            client.request("delete", "doc/a.txt", proxy=cap)
+
+    def test_anonymous_bearer_presentation(self, world):
+        """A bearer capability works with no session at all (§3.1)."""
+        realm, alice, bob, fs = world
+        cap = self._capability(
+            realm, alice, fs, (AuthorizedEntry("doc/a.txt", ("read",)),)
+        )
+        out = bob.client_for(fs.principal).request(
+            "read", "doc/a.txt", proxy=cap, anonymous=True
+        )
+        assert out["data"] == b"contents A"
+
+    def test_capability_from_unprivileged_grantor_useless(self, world):
+        """The proxy conveys the *grantor's* rights — bob has none."""
+        realm, alice, bob, fs = world
+        creds = bob.kerberos.get_ticket(fs.principal)
+        cap = grant_via_credentials(
+            creds,
+            (Authorized(entries=(AuthorizedEntry("doc/a.txt", ("read",)),)),),
+            realm.clock.now(),
+        )
+        carol = realm.user("carol")
+        with pytest.raises(AuthorizationDenied):
+            carol.client_for(fs.principal).request(
+                "read", "doc/a.txt", proxy=cap
+            )
+
+    def test_revocation_via_acl_change(self, world):
+        """§3.1: revoking the grantor's access kills all derived capabilities."""
+        realm, alice, bob, fs = world
+        cap = self._capability(
+            realm, alice, fs, (AuthorizedEntry("doc/a.txt", ("read",)),)
+        )
+        client = bob.client_for(fs.principal)
+        client.request("read", "doc/a.txt", proxy=cap)
+        fs.acl.remove_subject(SinglePrincipal(alice.principal))
+        with pytest.raises(AuthorizationDenied):
+            client.request("read", "doc/a.txt", proxy=cap)
+
+
+class TestDelegatePath:
+    def test_delegate_proxy_requires_named_claimant(self, world):
+        realm, alice, bob, fs = world
+        creds = alice.kerberos.get_ticket(fs.principal)
+        proxy = grant_via_credentials(
+            creds, (Grantee(principals=(bob.principal,)),), realm.clock.now()
+        )
+        out = bob.client_for(fs.principal).request(
+            "read", "doc/a.txt", proxy=proxy
+        )
+        assert out["data"] == b"contents A"
+        carol = realm.user("carol")
+        with pytest.raises(RestrictionViolation):
+            carol.client_for(fs.principal).request(
+                "read", "doc/a.txt", proxy=proxy
+            )
+
+
+class TestCompoundPrincipals:
+    def test_user_and_host_required(self, world):
+        """§3.5: concurrence of user and host credentials."""
+        realm, alice, bob, fs = world
+        host = realm.user("workstation-7")
+        fs.put("secure/keys", b"root key material")
+        fs.acl.add(
+            AclEntry(
+                subject=Compound(
+                    subjects=(
+                        SinglePrincipal(bob.principal),
+                        SinglePrincipal(host.principal),
+                    )
+                ),
+                operations=("read",),
+                targets=("secure/*",),
+            )
+        )
+        client = bob.client_for(fs.principal)
+        # Bob alone: denied.
+        with pytest.raises(AuthorizationDenied):
+            client.request("read", "secure/keys")
+        # Bob plus the host's proxy vouching for him: allowed.
+        host_creds = host.kerberos.get_ticket(fs.principal)
+        host_proxy = grant_via_credentials(
+            host_creds,
+            (Grantee(principals=(bob.principal,)),),
+            realm.clock.now(),
+        )
+        out = client.request("read", "secure/keys", proxy=host_proxy)
+        assert out["data"] == b"root key material"
+
+
+class TestSessionRestrictions:
+    def test_authenticator_restrictions_bind_session(self, world):
+        """§6.2: restrictions in the authenticator narrow the session."""
+        realm, alice, bob, fs = world
+        client = alice.client_for(fs.principal)
+        client.establish_session(
+            additional_restrictions=(
+                Authorized(entries=(AuthorizedEntry("doc/b.txt", ("read",)),)),
+            )
+        )
+        assert client.request("read", "doc/b.txt")["data"] == b"contents B"
+        with pytest.raises(RestrictionViolation):
+            client.request("read", "doc/a.txt")
+
+    def test_quota_in_session(self, world):
+        realm, alice, bob, fs = world
+        client = alice.client_for(fs.principal)
+        client.establish_session(
+            additional_restrictions=(Quota(currency="bytes", limit=3),)
+        )
+        with pytest.raises(RestrictionViolation):
+            client.request(
+                "write", "doc/big", args={"data": b"xxxxx"},
+                amounts={"bytes": 5},
+            )
+
+
+class TestGroupAcl:
+    def test_group_entry_via_group_proxy(self, world):
+        realm, alice, bob, fs = world
+        gs = realm.group_server("groups")
+        gid = gs.create_group("staff", (bob.principal,))
+        fs.acl.add(
+            AclEntry(subject=GroupSubject(gid), operations=("read",))
+        )
+        g, gproxy = bob.group_client(gs.principal).get_group_proxy(
+            "staff", fs.principal
+        )
+        out = bob.client_for(fs.principal).request(
+            "read", "doc/a.txt", group_proxies=[(g, gproxy)]
+        )
+        assert out["data"] == b"contents A"
+
+    def test_non_member_cannot_get_proxy(self, world):
+        realm, alice, bob, fs = world
+        gs = realm.group_server("groups")
+        gs.create_group("staff", (bob.principal,))
+        carol = realm.user("carol")
+        with pytest.raises(AuthorizationDenied):
+            carol.group_client(gs.principal).get_group_proxy(
+                "staff", fs.principal
+            )
+
+    def test_for_use_by_group_restriction(self, world):
+        """§7.2: a proxy usable only by asserting a group membership."""
+        realm, alice, bob, fs = world
+        gs = realm.group_server("groups")
+        gid = gs.create_group("auditors", (bob.principal,))
+        creds = alice.kerberos.get_ticket(fs.principal)
+        proxy = grant_via_credentials(
+            creds,
+            (ForUseByGroup(groups=(gid,)),),
+            realm.clock.now(),
+        )
+        client = bob.client_for(fs.principal)
+        with pytest.raises(RestrictionViolation):
+            client.request("read", "doc/a.txt", proxy=proxy)
+        g, gproxy = bob.group_client(gs.principal).get_group_proxy(
+            "auditors", fs.principal
+        )
+        out = client.request(
+            "read", "doc/a.txt", proxy=proxy, group_proxies=[(g, gproxy)]
+        )
+        assert out["data"] == b"contents A"

@@ -1,0 +1,37 @@
+"""Every example script must run to completion (guards the deliverable)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[p.name for p in EXAMPLES]
+)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "examples must narrate what they do"
+    assert "FAIL" not in result.stdout
+
+
+def test_guided_tour_runs():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "audit trail" in result.stdout

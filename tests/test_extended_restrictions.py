@@ -1,0 +1,180 @@
+"""Extended restriction vocabulary: use-limit and time-window.
+
+§7 is explicit that its list is not complete ("neither should be construed
+as a complete list") and points at the companion TR for more; these two are
+implemented in that spirit and exercised end to end.
+"""
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.core.evaluation import RequestContext
+from repro.core.replay import AcceptOnceRegistry
+from repro.core.restrictions import (
+    TimeWindow,
+    UseLimit,
+    restriction_from_wire,
+)
+from repro.encoding.identifiers import PrincipalId
+from repro.errors import (
+    ReplayError,
+    ReproError,
+    RestrictionError,
+    RestrictionViolation,
+)
+from repro.kerberos.proxy_support import grant_via_credentials
+from repro.testbed import Realm
+
+ALICE = PrincipalId("alice")
+SERVER = PrincipalId("server")
+
+
+def ctx(registry=None, **kwargs):
+    defaults = dict(
+        server=SERVER,
+        operation="read",
+        grantor=ALICE,
+        replay_registry=registry,
+        link_expires_at=10_000.0,
+    )
+    defaults.update(kwargs)
+    return RequestContext(**defaults)
+
+
+class TestUseLimitUnit:
+    def _registry(self):
+        return AcceptOnceRegistry(SimulatedClock(100.0))
+
+    def test_allows_up_to_limit(self):
+        registry = self._registry()
+        r = UseLimit(identifier="job", limit=3)
+        for _ in range(3):
+            r.check(ctx(registry))
+        with pytest.raises(ReplayError):
+            r.check(ctx(registry))
+
+    def test_scoped_per_grantor(self):
+        registry = self._registry()
+        r = UseLimit(identifier="job", limit=1)
+        r.check(ctx(registry))
+        r.check(ctx(registry, grantor=PrincipalId("bob")))
+
+    def test_counts_expire_with_link(self):
+        clock = SimulatedClock(100.0)
+        registry = AcceptOnceRegistry(clock)
+        r = UseLimit(identifier="job", limit=1)
+        r.check(ctx(registry, link_expires_at=200.0))
+        clock.advance(101.0)
+        r.check(ctx(registry, link_expires_at=400.0))  # fresh window
+
+    def test_no_registry_fails_closed(self):
+        with pytest.raises(RestrictionViolation):
+            UseLimit(identifier="x", limit=1).check(ctx(None))
+
+    def test_validation(self):
+        with pytest.raises(RestrictionError):
+            UseLimit(identifier="", limit=1)
+        with pytest.raises(RestrictionError):
+            UseLimit(identifier="x", limit=0)
+
+    def test_wire_round_trip(self):
+        r = UseLimit(identifier="abc", limit=5)
+        assert restriction_from_wire(r.to_wire()) == r
+
+    def test_transactional_rollback(self):
+        """A failed request must not consume a use."""
+        registry = self._registry()
+        r = UseLimit(identifier="job", limit=1)
+        with pytest.raises(RuntimeError):
+            with registry.transaction():
+                r.check(ctx(registry))
+                raise RuntimeError("handler failed")
+        r.check(ctx(registry))  # still available
+
+
+class TestTimeWindowUnit:
+    def test_inside_window(self):
+        TimeWindow(start=9 * 3600, end=17 * 3600).check(
+            ctx(time=12 * 3600.0)
+        )
+
+    def test_outside_window(self):
+        with pytest.raises(RestrictionViolation):
+            TimeWindow(start=9 * 3600, end=17 * 3600).check(
+                ctx(time=20 * 3600.0)
+            )
+
+    def test_wrapping_window(self):
+        night = TimeWindow(start=22 * 3600, end=6 * 3600)
+        night.check(ctx(time=23 * 3600.0))
+        night.check(ctx(time=3 * 3600.0))
+        with pytest.raises(RestrictionViolation):
+            night.check(ctx(time=12 * 3600.0))
+
+    def test_multi_day_times(self):
+        window = TimeWindow(start=9 * 3600, end=17 * 3600)
+        window.check(ctx(time=5 * 86_400 + 10 * 3600.0))
+
+    def test_validation(self):
+        with pytest.raises(RestrictionError):
+            TimeWindow(start=-1, end=10)
+        with pytest.raises(RestrictionError):
+            TimeWindow(start=5, end=5)
+
+    def test_wire_round_trip(self):
+        r = TimeWindow(start=100.0, end=200.0)
+        assert restriction_from_wire(r.to_wire()) == r
+
+
+class TestEndToEnd:
+    @pytest.fixture
+    def world(self):
+        # Start the realm clock at exact midnight so time-of-day is easy.
+        realm = Realm(seed=b"ext-restrict", start_time=864_000.0)
+        alice = realm.user("alice")
+        bob = realm.user("bob")
+        fs = realm.file_server("files")
+        fs.grant_owner(alice.principal)
+        fs.put("doc", b"data")
+        return realm, alice, bob, fs
+
+    def test_use_limit_through_file_server(self, world):
+        realm, alice, bob, fs = world
+        creds = alice.kerberos.get_ticket(fs.principal)
+        proxy = grant_via_credentials(
+            creds, (UseLimit(identifier="punch", limit=2),), realm.clock.now()
+        )
+        client = bob.client_for(fs.principal)
+        client.request("read", "doc", proxy=proxy, anonymous=True)
+        client.request("read", "doc", proxy=proxy, anonymous=True)
+        with pytest.raises(ReplayError):
+            client.request("read", "doc", proxy=proxy, anonymous=True)
+
+    def test_failed_request_does_not_consume_use(self, world):
+        realm, alice, bob, fs = world
+        creds = alice.kerberos.get_ticket(fs.principal)
+        proxy = grant_via_credentials(
+            creds, (UseLimit(identifier="punch", limit=1),), realm.clock.now()
+        )
+        client = bob.client_for(fs.principal)
+        with pytest.raises(ReproError):
+            client.request("read", "missing-file", proxy=proxy, anonymous=True)
+        # The read failed at the handler; the single use must survive.
+        out = client.request("read", "doc", proxy=proxy, anonymous=True)
+        assert out["data"] == b"data"
+
+    def test_time_window_through_file_server(self, world):
+        realm, alice, bob, fs = world
+        creds = alice.kerberos.get_ticket(fs.principal)
+        # Early-morning maintenance window only (within ticket lifetime).
+        proxy = grant_via_credentials(
+            creds,
+            (TimeWindow(start=2 * 3600, end=4 * 3600),),
+            realm.clock.now(),
+        )
+        client = bob.client_for(fs.principal)
+        with pytest.raises(RestrictionViolation):  # now: midnight
+            client.request("read", "doc", proxy=proxy, anonymous=True)
+        realm.clock.advance(3 * 3600)  # 03:00 — inside the window
+        out = client.request("read", "doc", proxy=proxy, anonymous=True)
+        assert out["data"] == b"data"

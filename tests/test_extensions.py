@@ -1,0 +1,340 @@
+"""Extension features: cashier's checks (the §4 'exercise for the reader'),
+challenge-based possession proofs, end-server audit integration, honest
+quota-by-transfer, and client session recovery."""
+
+import pytest
+
+from repro.core.restrictions import Authorized, AuthorizedEntry, Grantee
+from repro.errors import (
+    AuthorizationDenied,
+    InsufficientFundsError,
+    ProxyVerificationError,
+    ReplayError,
+    RestrictionViolation,
+    ServiceError,
+)
+from repro.kerberos.proxy_support import grant_via_credentials
+from repro.services.accounting import CASHIER_ACCOUNT
+from repro.services.printserver import PAGES
+from repro.testbed import Realm
+
+
+class TestCashiersChecks:
+    @pytest.fixture
+    def world(self):
+        realm = Realm(seed=b"cashier-test")
+        alice = realm.user("alice")
+        bob = realm.user("bob")
+        bank = realm.accounting_server("bank")
+        bank.create_account("alice", alice.principal, {"dollars": 100})
+        bank.create_account("bob", bob.principal)
+        return realm, alice, bob, bank
+
+    def test_payor_is_the_bank(self, world):
+        realm, alice, bob, bank = world
+        check = alice.accounting_client(bank.principal).purchase_cashiers_check(
+            "alice", bob.principal, "dollars", 40
+        )
+        assert check.payor == bank.principal
+        assert check.drawn_on == bank.principal
+        assert check.payor_account.account == CASHIER_ACCOUNT
+
+    def test_funds_move_at_purchase(self, world):
+        realm, alice, bob, bank = world
+        alice.accounting_client(bank.principal).purchase_cashiers_check(
+            "alice", bob.principal, "dollars", 40
+        )
+        assert bank.accounts["alice"].balance("dollars") == 60
+        assert bank.accounts[CASHIER_ACCOUNT].balance("dollars") == 40
+
+    def test_clears_from_cashier_account(self, world):
+        realm, alice, bob, bank = world
+        check = alice.accounting_client(bank.principal).purchase_cashiers_check(
+            "alice", bob.principal, "dollars", 40
+        )
+        result = bob.accounting_client(bank.principal).deposit_check(
+            check, "bob"
+        )
+        assert result["paid"] == 40
+        assert bank.accounts[CASHIER_ACCOUNT].balance("dollars") == 0
+        assert bank.accounts["bob"].balance("dollars") == 40
+
+    def test_guaranteed_even_if_purchaser_drained(self, world):
+        """The cashier's-check guarantee: purchaser's account is irrelevant
+        after purchase."""
+        realm, alice, bob, bank = world
+        client = alice.accounting_client(bank.principal)
+        check = client.purchase_cashiers_check(
+            "alice", bob.principal, "dollars", 40
+        )
+        client.transfer("alice", "bob", "dollars", 60)  # drain alice
+        result = bob.accounting_client(bank.principal).deposit_check(
+            check, "bob"
+        )
+        assert result["paid"] == 40
+
+    def test_purchase_needs_funds(self, world):
+        realm, alice, bob, bank = world
+        with pytest.raises(InsufficientFundsError):
+            alice.accounting_client(bank.principal).purchase_cashiers_check(
+                "alice", bob.principal, "dollars", 500
+            )
+
+    def test_only_owner_purchases(self, world):
+        realm, alice, bob, bank = world
+        with pytest.raises(AuthorizationDenied):
+            bob.accounting_client(bank.principal).purchase_cashiers_check(
+                "alice", bob.principal, "dollars", 10
+            )
+
+    def test_only_payee_deposits(self, world):
+        realm, alice, bob, bank = world
+        check = alice.accounting_client(bank.principal).purchase_cashiers_check(
+            "alice", bob.principal, "dollars", 10
+        )
+        carol = realm.user("carol")
+        bank.create_account("carol", carol.principal)
+        with pytest.raises(RestrictionViolation):
+            carol.accounting_client(bank.principal).deposit_check(
+                check, "carol"
+            )
+
+    def test_double_deposit_rejected(self, world):
+        realm, alice, bob, bank = world
+        check = alice.accounting_client(bank.principal).purchase_cashiers_check(
+            "alice", bob.principal, "dollars", 10
+        )
+        client = bob.accounting_client(bank.principal)
+        client.deposit_check(check, "bob")
+        with pytest.raises(ReplayError):
+            client.deposit_check(check, "bob")
+
+    def test_cross_server_deposit(self, world):
+        realm, alice, bob, bank = world
+        bank2 = realm.accounting_server("bank2")
+        carol = realm.user("carol")
+        bank2.create_account("carol", carol.principal)
+        check = alice.accounting_client(bank.principal).purchase_cashiers_check(
+            "alice", carol.principal, "dollars", 15
+        )
+        result = carol.accounting_client(bank2.principal).deposit_check(
+            check, "carol"
+        )
+        assert result["cleared"]
+        assert bank2.accounts["carol"].balance("dollars") == 15
+
+
+class TestChallengeBasedPresentation:
+    @pytest.fixture
+    def world(self):
+        realm = Realm(seed=b"challenge-test")
+        alice = realm.user("alice")
+        bob = realm.user("bob")
+        fs = realm.file_server("files")
+        fs.grant_owner(alice.principal)
+        fs.put("doc", b"data")
+        creds = alice.kerberos.get_ticket(fs.principal)
+        cap = grant_via_credentials(
+            creds,
+            (Authorized(entries=(AuthorizedEntry("doc", ("read",)),)),),
+            realm.clock.now(),
+        )
+        return realm, alice, bob, fs, cap
+
+    def test_challenge_flow_works(self, world):
+        realm, alice, bob, fs, cap = world
+        client = bob.client_for(fs.principal)
+        out = client.request(
+            "read", "doc", proxy=cap, anonymous=True, use_challenge=True
+        )
+        assert out["data"] == b"data"
+
+    def test_forged_challenge_rejected(self, world):
+        realm, alice, bob, fs, cap = world
+        wire = cap.presentation(
+            fs.principal, realm.clock.now(), "read", target="doc",
+            challenge=b"not-issued-by-server",
+        )
+        payload = {
+            "operation": "read", "target": "doc", "args": {},
+            "amounts": {}, "proxy": wire,
+        }
+        from repro.net.message import raise_if_error
+
+        with pytest.raises(ProxyVerificationError):
+            raise_if_error(
+                realm.network.send(
+                    bob.principal, fs.principal, "request", payload
+                )
+            )
+
+    def test_challenge_single_use(self, world):
+        realm, alice, bob, fs, cap = world
+        challenge = realm.network.send(
+            bob.principal, fs.principal, "get-challenge", {}
+        )["challenge"]
+        wire = cap.presentation(
+            fs.principal, realm.clock.now(), "read", target="doc",
+            challenge=challenge,
+        )
+        payload = {
+            "operation": "read", "target": "doc", "args": {},
+            "amounts": {}, "proxy": wire,
+        }
+        from repro.net.message import raise_if_error
+
+        raise_if_error(
+            realm.network.send(bob.principal, fs.principal, "request", payload)
+        )
+        # The same challenge (even with a fresh proof) is spent.
+        wire2 = cap.presentation(
+            fs.principal, realm.clock.now(), "read", target="doc",
+            challenge=challenge,
+        )
+        payload["proxy"] = wire2
+        with pytest.raises(ProxyVerificationError):
+            raise_if_error(
+                realm.network.send(
+                    bob.principal, fs.principal, "request", payload
+                )
+            )
+
+    def test_expired_challenge_rejected(self, world):
+        realm, alice, bob, fs, cap = world
+        challenge = realm.network.send(
+            bob.principal, fs.principal, "get-challenge", {}
+        )["challenge"]
+        realm.clock.advance(fs.acceptor.verifier.freshness_window + 1)
+        wire = cap.presentation(
+            fs.principal, realm.clock.now(), "read", target="doc",
+            challenge=challenge,
+        )
+        payload = {
+            "operation": "read", "target": "doc", "args": {},
+            "amounts": {}, "proxy": wire,
+        }
+        from repro.net.message import raise_if_error
+
+        with pytest.raises(ProxyVerificationError):
+            raise_if_error(
+                realm.network.send(
+                    bob.principal, fs.principal, "request", payload
+                )
+            )
+
+
+class TestAuditIntegration:
+    def test_proxy_requests_audited(self):
+        realm = Realm(seed=b"audit-int")
+        alice = realm.user("alice")
+        bob = realm.user("bob")
+        fs = realm.file_server("files")
+        fs.grant_owner(alice.principal)
+        fs.put("doc", b"data")
+        creds = alice.kerberos.get_ticket(fs.principal)
+        proxy = grant_via_credentials(
+            creds, (Grantee(principals=(bob.principal,)),), realm.clock.now()
+        )
+        bob.client_for(fs.principal).request("read", "doc", proxy=proxy)
+        records = fs.audit.involving(alice.principal)
+        assert len(records) == 1
+        assert records[0].grantor == alice.principal
+        assert records[0].claimant == bob.principal
+        assert records[0].operation == "read"
+
+    def test_direct_requests_not_audited(self):
+        realm = Realm(seed=b"audit-int2")
+        alice = realm.user("alice")
+        fs = realm.file_server("files")
+        fs.grant_owner(alice.principal)
+        fs.put("doc", b"data")
+        alice.client_for(fs.principal).request("read", "doc")
+        assert len(fs.audit) == 0
+
+
+class TestQuotaByTransfer:
+    @pytest.fixture
+    def world(self):
+        realm = Realm(seed=b"quota-transfer")
+        alice = realm.user("alice")
+        bank = realm.accounting_server("bank")
+        bank.create_account("alice", alice.principal, {PAGES: 50})
+        printer_owner = realm.user("printer-owner")
+        ps = realm.print_server("printer")
+        bank.create_account("printer", ps.principal)
+        ps.accounting = ps.principal and None  # set below with identity
+        # The print server uses its own Kerberos identity to query/transfer.
+        from repro.kerberos.client import KerberosClient
+        from repro.services.accounting import AccountingClient
+
+        ps_key = realm.kdc.database.key_of(ps.principal)
+        ps_kerberos = KerberosClient(
+            ps.principal, ps_key, realm.network, realm.clock
+        )
+        ps.accounting = AccountingClient(ps_kerberos, bank.principal)
+        ps.account_name = "printer"
+        return realm, alice, bank, ps
+
+    def test_unfunded_allocation_rejected(self, world):
+        realm, alice, bank, ps = world
+        client = alice.client_for(ps.principal)
+        with pytest.raises(ServiceError):
+            client.request("allocate", args={"pages": 10})
+
+    def test_funded_allocation_and_print(self, world):
+        realm, alice, bank, ps = world
+        alice.accounting_client(bank.principal).transfer(
+            "alice", "printer", PAGES, 10
+        )
+        client = alice.client_for(ps.principal)
+        assert client.request("allocate", args={"pages": 10})["allocated"] == 10
+        out = client.request("print", "doc.ps", amounts={PAGES: 4})
+        assert out["remaining"] == 6
+
+    def test_over_allocation_rejected(self, world):
+        realm, alice, bank, ps = world
+        alice.accounting_client(bank.principal).transfer(
+            "alice", "printer", PAGES, 10
+        )
+        client = alice.client_for(ps.principal)
+        client.request("allocate", args={"pages": 10})
+        with pytest.raises(ServiceError):
+            client.request("allocate", args={"pages": 1})
+
+    def test_release_returns_funds(self, world):
+        """§4: 'transferring the funds back when the resource is released.'"""
+        realm, alice, bank, ps = world
+        alice.accounting_client(bank.principal).transfer(
+            "alice", "printer", PAGES, 10
+        )
+        client = alice.client_for(ps.principal)
+        client.request("allocate", args={"pages": 10})
+        client.request(
+            "release", args={"pages": 4, "to_account": "alice"}
+        )
+        assert bank.accounts["alice"].balance(PAGES) == 44
+        assert bank.accounts["printer"].balance(PAGES) == 6
+        out = client.request("remaining")
+        assert out["remaining"] == 6
+
+    def test_cannot_release_more_than_held(self, world):
+        realm, alice, bank, ps = world
+        client = alice.client_for(ps.principal)
+        with pytest.raises(ServiceError):
+            client.request(
+                "release", args={"pages": 1, "to_account": "alice"}
+            )
+
+
+class TestSessionRecovery:
+    def test_expired_session_reestablished_transparently(self):
+        realm = Realm(seed=b"session-recovery")
+        alice = realm.user("alice")
+        fs = realm.file_server("files")
+        fs.grant_owner(alice.principal)
+        fs.put("doc", b"data")
+        client = alice.client_for(fs.principal)
+        assert client.request("read", "doc")["data"] == b"data"
+        # Let the ticket (and therefore the session) expire.
+        realm.clock.advance(9 * 3600)
+        assert client.request("read", "doc")["data"] == b"data"

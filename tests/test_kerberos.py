@@ -1,0 +1,290 @@
+"""The Kerberos substrate: tickets, KDC exchanges, AP sessions (§6.2)."""
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.core.restrictions import Grantee, Quota
+from repro.crypto.keys import SymmetricKey
+from repro.crypto.rng import Rng
+from repro.encoding.identifiers import PrincipalId
+from repro.errors import (
+    AuthenticatorError,
+    ReplayError,
+    TicketError,
+    UnknownPrincipalError,
+)
+from repro.kerberos import (
+    ApAcceptor,
+    Credentials,
+    KerberosClient,
+    KeyDistributionCenter,
+    PrincipalDatabase,
+    Ticket,
+    TicketBody,
+    make_ap_request,
+    tgs_principal,
+)
+from repro.net.network import Network
+
+START = 1_000_000.0
+
+
+@pytest.fixture
+def setup(rng):
+    clock = SimulatedClock(START)
+    network = Network(clock, rng=rng)
+    kdc = KeyDistributionCenter(network, clock, rng=rng)
+    return clock, network, kdc
+
+
+def make_user(kdc, network, clock, name, rng):
+    principal = PrincipalId(name)
+    key = kdc.database.register(principal)
+    return (
+        principal,
+        key,
+        KerberosClient(principal, key, network, clock, rng=rng),
+    )
+
+
+class TestDatabase:
+    def test_register_and_lookup(self):
+        db = PrincipalDatabase()
+        key = db.register(PrincipalId("x"))
+        assert db.key_of(PrincipalId("x")) == key
+        assert db.knows(PrincipalId("x"))
+
+    def test_unknown_principal(self):
+        db = PrincipalDatabase()
+        with pytest.raises(UnknownPrincipalError):
+            db.key_of(PrincipalId("ghost"))
+
+    def test_wrong_realm_rejected(self):
+        db = PrincipalDatabase(realm="A.ORG")
+        with pytest.raises(UnknownPrincipalError):
+            db.register(PrincipalId("x", "B.ORG"))
+
+    def test_remove(self):
+        db = PrincipalDatabase()
+        db.register(PrincipalId("x"))
+        db.remove(PrincipalId("x"))
+        assert not db.knows(PrincipalId("x"))
+
+
+class TestTickets:
+    def test_seal_open_round_trip(self, rng):
+        server_key = SymmetricKey.generate(rng=rng)
+        body = TicketBody(
+            client=PrincipalId("alice"),
+            server=PrincipalId("server"),
+            session_key=SymmetricKey.generate(rng=rng),
+            auth_time=1.0,
+            expires_at=100.0,
+            authorization_data=(Quota(currency="c", limit=5),),
+        )
+        ticket = Ticket.seal(body, server_key, rng=rng)
+        opened = ticket.open(server_key)
+        assert opened == body
+
+    def test_wrong_key_rejected(self, rng):
+        server_key = SymmetricKey.generate(rng=rng)
+        body = TicketBody(
+            client=PrincipalId("alice"),
+            server=PrincipalId("server"),
+            session_key=SymmetricKey.generate(rng=rng),
+            auth_time=1.0,
+            expires_at=100.0,
+        )
+        ticket = Ticket.seal(body, server_key, rng=rng)
+        with pytest.raises(TicketError):
+            ticket.open(SymmetricKey.generate(rng=rng))
+
+    def test_session_key_confidential(self, rng):
+        """§6.2: the session key is never sent in the clear."""
+        server_key = SymmetricKey.generate(rng=rng)
+        session = SymmetricKey.generate(rng=rng)
+        body = TicketBody(
+            client=PrincipalId("alice"),
+            server=PrincipalId("server"),
+            session_key=session,
+            auth_time=1.0,
+            expires_at=100.0,
+        )
+        ticket = Ticket.seal(body, server_key, rng=rng)
+        assert session.secret not in ticket.blob
+
+
+class TestAsExchange:
+    def test_login_yields_tgt(self, setup, rng):
+        clock, network, kdc = setup
+        _, _, client = make_user(kdc, network, clock, "alice", rng)
+        tgt = client.login()
+        assert tgt.server == tgs_principal()
+        assert tgt.expires_at > clock.now()
+
+    def test_tgt_restrictable_at_login(self, setup, rng):
+        """§6.3: initial authentication is itself a proxy grant."""
+        clock, network, kdc = setup
+        _, _, client = make_user(kdc, network, clock, "alice", rng)
+        client.login(authorization_data=(Quota(currency="c", limit=1),))
+        tgt_ticket = client.tgt.ticket
+        body = tgt_ticket.open(kdc.database.key_of(tgs_principal()))
+        assert body.authorization_data == (Quota(currency="c", limit=1),)
+
+    def test_unknown_client_rejected(self, setup, rng):
+        clock, network, kdc = setup
+        ghost = PrincipalId("ghost")
+        client = KerberosClient(
+            ghost, SymmetricKey.generate(rng=rng), network, clock, rng=rng
+        )
+        with pytest.raises(UnknownPrincipalError):
+            client.login()
+
+
+class TestTgsExchange:
+    def test_service_ticket(self, setup, rng):
+        clock, network, kdc = setup
+        _, _, client = make_user(kdc, network, clock, "alice", rng)
+        server = PrincipalId("fileserver")
+        server_key = kdc.database.register(server)
+        creds = client.get_ticket(server)
+        body = creds.ticket.open(server_key)
+        assert body.client == client.principal
+        assert body.session_key == creds.session_key
+
+    def test_restrictions_added_never_removed(self, setup, rng):
+        """§6.2: authorization-data accumulates through the TGS."""
+        clock, network, kdc = setup
+        _, _, client = make_user(kdc, network, clock, "alice", rng)
+        server = PrincipalId("fileserver")
+        server_key = kdc.database.register(server)
+        client.login(authorization_data=(Quota(currency="a", limit=1),))
+        creds = client.get_ticket(
+            server,
+            additional_restrictions=(Quota(currency="b", limit=2),),
+        )
+        body = creds.ticket.open(server_key)
+        currencies = [r.to_wire()["currency"] for r in body.authorization_data]
+        assert currencies == ["a", "b"]
+
+    def test_ticket_caching(self, setup, rng):
+        clock, network, kdc = setup
+        _, _, client = make_user(kdc, network, clock, "alice", rng)
+        server = PrincipalId("s")
+        kdc.database.register(server)
+        before = network.metrics.snapshot()
+        client.get_ticket(server)
+        client.get_ticket(server)  # cached, no new KDC traffic
+        delta = network.metrics.delta_since(before)
+        # login (2) + tgs (2) for the first call only.
+        assert delta.messages == 4
+
+    def test_ticket_lifetime_capped_by_tgt(self, setup, rng):
+        clock, network, kdc = setup
+        _, _, client = make_user(kdc, network, clock, "alice", rng)
+        server = PrincipalId("s")
+        kdc.database.register(server)
+        client.login(till=clock.now() + 100)
+        creds = client.get_ticket(server, till=clock.now() + 10_000)
+        assert creds.expires_at <= clock.now() + 100
+
+    def test_unknown_server_rejected(self, setup, rng):
+        clock, network, kdc = setup
+        _, _, client = make_user(kdc, network, clock, "alice", rng)
+        with pytest.raises(UnknownPrincipalError):
+            client.get_ticket(PrincipalId("no-such-server"))
+
+
+class TestApExchange:
+    @pytest.fixture
+    def ap_setup(self, setup, rng):
+        clock, network, kdc = setup
+        _, _, client = make_user(kdc, network, clock, "alice", rng)
+        server = PrincipalId("server")
+        server_key = kdc.database.register(server)
+        acceptor = ApAcceptor(server, server_key, clock)
+        return clock, client, server, acceptor
+
+    def test_accept(self, ap_setup, rng):
+        clock, client, server, acceptor = ap_setup
+        creds = client.get_ticket(server)
+        session = acceptor.accept(make_ap_request(creds, clock, rng=rng))
+        assert session.client == client.principal
+        assert session.presenter == client.principal
+        assert not session.is_proxy_session
+
+    def test_replayed_authenticator_rejected(self, ap_setup, rng):
+        clock, client, server, acceptor = ap_setup
+        creds = client.get_ticket(server)
+        request = make_ap_request(creds, clock, rng=rng)
+        acceptor.accept(request)
+        with pytest.raises(ReplayError):
+            acceptor.accept(request)
+
+    def test_skewed_authenticator_rejected(self, ap_setup, rng):
+        clock, client, server, acceptor = ap_setup
+        creds = client.get_ticket(server)
+        request = make_ap_request(creds, clock, rng=rng)
+        clock.advance(acceptor.max_skew + 1)
+        with pytest.raises(AuthenticatorError):
+            acceptor.accept(request)
+
+    def test_expired_ticket_rejected(self, ap_setup, rng):
+        clock, client, server, acceptor = ap_setup
+        creds = client.get_ticket(server, till=clock.now() + 10)
+        clock.advance(11)
+        with pytest.raises(TicketError):
+            acceptor.accept(make_ap_request(creds, clock, rng=rng))
+
+    def test_wrong_server_ticket_rejected(self, ap_setup, rng):
+        clock, client, server, acceptor = ap_setup
+        creds = client.get_ticket(server)
+        other_acceptor = ApAcceptor(
+            PrincipalId("other"), SymmetricKey.generate(rng=rng), clock
+        )
+        with pytest.raises(TicketError):
+            other_acceptor.accept(make_ap_request(creds, clock, rng=rng))
+
+    def test_subkey_becomes_session_key(self, ap_setup, rng):
+        clock, client, server, acceptor = ap_setup
+        creds = client.get_ticket(server)
+        subkey = SymmetricKey.generate(rng=rng)
+        session = acceptor.accept(
+            make_ap_request(creds, clock, subkey=subkey, rng=rng)
+        )
+        assert session.session_key == subkey
+
+    def test_third_party_cannot_present_plain_ticket(self, ap_setup, rng):
+        clock, client, server, acceptor = ap_setup
+        creds = client.get_ticket(server)
+        with pytest.raises(AuthenticatorError):
+            acceptor.accept(
+                make_ap_request(
+                    creds, clock, presenter=PrincipalId("mallory"), rng=rng
+                )
+            )
+
+    def test_named_grantee_may_present_proxy_ticket(self, ap_setup, rng):
+        clock, client, server, acceptor = ap_setup
+        bob = PrincipalId("bob")
+        creds = client.get_ticket(server)
+        # Simulate a proxy ticket: authorization-data names bob.
+        proxy_creds = Credentials(
+            ticket=creds.ticket,
+            session_key=creds.session_key,
+            client=client.principal,
+            expires_at=creds.expires_at,
+        )
+        # A plain ticket has no grantee restriction, so bob is rejected
+        # (covered above); now test via TGS-issued restrictions:
+        restricted = client.get_ticket(
+            server,
+            additional_restrictions=(Grantee(principals=(bob,)),),
+            use_cache=False,
+        )
+        session = acceptor.accept(
+            make_ap_request(restricted, clock, presenter=bob, rng=rng)
+        )
+        assert session.client == client.principal
+        assert session.presenter == bob
+        assert session.is_proxy_session

@@ -1,0 +1,243 @@
+"""Additional coverage: authorization-server matrices, client behaviors,
+testbed helpers, and miscellaneous branches."""
+
+import pytest
+
+from repro.acl import AclEntry, SinglePrincipal
+from repro.core.restrictions import (
+    Expiration,
+    Grantee,
+    IssuedFor,
+    Quota,
+)
+from repro.errors import (
+    AuthorizationDenied,
+    ProxyError,
+    ReproError,
+    RestrictionViolation,
+    ServiceError,
+)
+from repro.kerberos.proxy_support import KerberosProxy, grant_via_credentials
+from repro.testbed import Realm
+
+
+@pytest.fixture
+def world():
+    realm = Realm(seed=b"more-coverage")
+    alice = realm.user("alice")
+    bob = realm.user("bob")
+    fs = realm.file_server("files")
+    fs.put("a", b"A")
+    fs.put("b", b"B")
+    azs = realm.authorization_server("authz")
+    fs.acl.add(AclEntry(subject=SinglePrincipal(azs.principal)))
+    return realm, alice, bob, fs, azs
+
+
+class TestAuthorizationMatrix:
+    def test_multi_operation_multi_target(self, world):
+        realm, alice, bob, fs, azs = world
+        azs.database_for(fs.principal).add(
+            AclEntry(
+                subject=SinglePrincipal(bob.principal),
+                operations=("read", "stat"),
+                targets=("a", "b"),
+            )
+        )
+        proxy = bob.authorization_client(azs.principal).authorize(
+            fs.principal, ("read", "stat"), ("a", "b")
+        )
+        client = bob.client_for(fs.principal)
+        assert client.request("read", "a", proxy=proxy)["data"] == b"A"
+        assert client.request("stat", "b", proxy=proxy)["exists"]
+
+    def test_partial_coverage_denied(self, world):
+        """Every requested (op, target) must be covered by the database."""
+        realm, alice, bob, fs, azs = world
+        azs.database_for(fs.principal).add(
+            AclEntry(
+                subject=SinglePrincipal(bob.principal),
+                operations=("read",),
+                targets=("a",),
+            )
+        )
+        with pytest.raises(AuthorizationDenied):
+            bob.authorization_client(azs.principal).authorize(
+                fs.principal, ("read",), ("a", "b")
+            )
+
+    def test_expiration_restriction_in_database(self, world):
+        """An Expiration carried from the database limits the proxy."""
+        realm, alice, bob, fs, azs = world
+        azs.database_for(fs.principal).add(
+            AclEntry(
+                subject=SinglePrincipal(bob.principal),
+                operations=("read",),
+                restrictions=(
+                    Expiration(not_after=realm.clock.now() + 30),
+                ),
+            )
+        )
+        proxy = bob.authorization_client(azs.principal).authorize(
+            fs.principal, ("read",)
+        )
+        client = bob.client_for(fs.principal)
+        assert client.request("read", "a", proxy=proxy)["data"] == b"A"
+        realm.clock.advance(31)
+        with pytest.raises(RestrictionViolation):
+            client.request("read", "a", proxy=proxy)
+
+    def test_empty_operations_rejected(self, world):
+        realm, alice, bob, fs, azs = world
+        with pytest.raises(ServiceError):
+            bob.authorization_client(azs.principal).authorize(
+                fs.principal, ()
+            )
+
+
+class TestServiceClientBehaviors:
+    def test_session_reused_across_requests(self, world):
+        realm, alice, bob, fs, azs = world
+        fs.grant_owner(alice.principal)
+        client = alice.client_for(fs.principal)
+        client.request("read", "a")
+        before = realm.network.metrics.snapshot()
+        client.request("read", "a")
+        delta = realm.network.metrics.delta_since(before)
+        assert delta.messages == 2  # no AP re-handshake
+
+    def test_anonymous_without_proxy_denied(self, world):
+        realm, alice, bob, fs, azs = world
+        fs.grant_owner(alice.principal)
+        client = alice.client_for(fs.principal)
+        with pytest.raises(AuthorizationDenied):
+            client.request("read", "a", anonymous=True)
+
+    def test_session_restrictions_per_session_object(self, world):
+        """Two clients of the same user carry independent sessions."""
+        realm, alice, bob, fs, azs = world
+        fs.grant_owner(alice.principal)
+        restricted = alice.client_for(fs.principal)
+        restricted.establish_session(
+            additional_restrictions=(Quota(currency="bytes", limit=0),)
+        )
+        free = alice.client_for(fs.principal)
+        free.request(
+            "write", "c", args={"data": b"xx"}, amounts={"bytes": 2}
+        )
+        with pytest.raises(RestrictionViolation):
+            restricted.request(
+                "write", "d", args={"data": b"xx"}, amounts={"bytes": 2}
+            )
+
+
+class TestProxyTransfer:
+    def test_transferable_without_key_for_delegates(self, world):
+        """Delegate proxies can be passed around without key material."""
+        realm, alice, bob, fs, azs = world
+        fs.grant_owner(alice.principal)
+        creds = alice.kerberos.get_ticket(fs.principal)
+        proxy = grant_via_credentials(
+            creds, (Grantee(principals=(bob.principal,)),), realm.clock.now()
+        )
+        stripped = KerberosProxy(
+            tickets=proxy.tickets, proxy=proxy.proxy.without_key()
+        )
+        wire = stripped.transferable()
+        assert wire["proxy_key"] is None
+        rebuilt = KerberosProxy.from_transferable(wire)
+        out = bob.client_for(fs.principal).request(
+            "read", "a", proxy=rebuilt
+        )
+        assert out["data"] == b"A"
+
+    def test_bearer_without_key_unusable(self, world):
+        realm, alice, bob, fs, azs = world
+        fs.grant_owner(alice.principal)
+        creds = alice.kerberos.get_ticket(fs.principal)
+        proxy = grant_via_credentials(creds, (), realm.clock.now())
+        stripped = KerberosProxy(
+            tickets=proxy.tickets, proxy=proxy.proxy.without_key()
+        )
+        with pytest.raises(ReproError):
+            bob.client_for(fs.principal).request(
+                "read", "a", proxy=stripped, anonymous=True
+            )
+
+
+class TestTestbed:
+    def test_user_idempotent(self):
+        realm = Realm(seed=b"tb")
+        a1 = realm.user("alice")
+        a2 = realm.user("alice")
+        assert a1 is a2
+
+    def test_deterministic_realms(self):
+        r1 = Realm(seed=b"same-seed")
+        r2 = Realm(seed=b"same-seed")
+        u1 = r1.user("alice")
+        u2 = r2.user("alice")
+        assert u1.secret_key.secret == u2.secret_key.secret
+
+    def test_different_seeds_differ(self):
+        r1 = Realm(seed=b"seed-one")
+        r2 = Realm(seed=b"seed-two")
+        assert (
+            r1.user("alice").secret_key.secret
+            != r2.user("alice").secret_key.secret
+        )
+
+    def test_federation_helper_shares_fabric(self):
+        from repro.testbed import federation
+
+        realms = federation(["F1.ORG", "F2.ORG"], seed=b"tb-fed")
+        assert realms["F1.ORG"].network is realms["F2.ORG"].network
+        assert realms["F1.ORG"].clock is realms["F2.ORG"].clock
+
+
+class TestIssuedForInIssuerMode:
+    def test_proxy_scoped_to_issuer_accepted(self, world):
+        """A proxy issued-for the authorization server itself passes the
+        issuer-mode check there."""
+        realm, alice, bob, fs, azs = world
+        fs.grant_owner(alice.principal)
+        azs.database_for(fs.principal).add(
+            AclEntry(subject=SinglePrincipal(alice.principal), operations=("read",))
+        )
+        creds = bob.kerberos.get_ticket(azs.principal)
+        # bob holds a proxy from alice usable at the authz server.
+        alice_creds = alice.kerberos.get_ticket(azs.principal)
+        helper = grant_via_credentials(
+            alice_creds,
+            (
+                Grantee(principals=(bob.principal,)),
+                IssuedFor(servers=(azs.principal,)),
+            ),
+            realm.clock.now(),
+        )
+        proxy = bob.authorization_client(azs.principal).authorize(
+            fs.principal, ("read",), proxy=helper
+        )
+        out = bob.client_for(fs.principal).request(
+            "read", "a", proxy=proxy
+        )
+        assert out["data"] == b"A"
+
+    def test_proxy_scoped_elsewhere_rejected_by_issuer(self, world):
+        realm, alice, bob, fs, azs = world
+        azs.database_for(fs.principal).add(
+            AclEntry(subject=SinglePrincipal(alice.principal), operations=("read",))
+        )
+        alice_creds = alice.kerberos.get_ticket(azs.principal)
+        wrong = grant_via_credentials(
+            alice_creds,
+            (
+                Grantee(principals=(bob.principal,)),
+                IssuedFor(servers=(fs.principal,)),  # not for the issuer
+            ),
+            realm.clock.now(),
+        )
+        with pytest.raises(RestrictionViolation):
+            bob.authorization_client(azs.principal).authorize(
+                fs.principal, ("read",), proxy=wrong
+            )

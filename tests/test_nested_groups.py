@@ -1,0 +1,114 @@
+"""Nested groups (§3.3): group names as members of other groups."""
+
+import pytest
+
+from repro.acl import AclEntry, GroupSubject
+from repro.errors import AuthorizationDenied
+from repro.testbed import Realm
+
+
+@pytest.fixture
+def world():
+    realm = Realm(seed=b"nested-groups")
+    alice = realm.user("alice")
+    fs = realm.file_server("files")
+    fs.put("doc", b"data")
+    gs = realm.group_server("groups")
+    return realm, alice, fs, gs
+
+
+class TestLocalNesting:
+    def test_member_of_nested_group_gets_outer_proxy(self, world):
+        realm, alice, fs, gs = world
+        engineers = gs.create_group("engineers", (alice.principal,))
+        gs.create_group("staff", (engineers,))  # staff contains engineers
+        staff = gs.group_id("staff")
+        fs.acl.add(AclEntry(subject=GroupSubject(staff), operations=("read",)))
+        gid, proxy = alice.group_client(gs.principal).get_group_proxy(
+            "staff", fs.principal
+        )
+        out = alice.client_for(fs.principal).request(
+            "read", "doc", group_proxies=[(gid, proxy)]
+        )
+        assert out["data"] == b"data"
+
+    def test_deep_nesting(self, world):
+        realm, alice, fs, gs = world
+        inner = gs.create_group("level0", (alice.principal,))
+        previous = inner
+        for i in range(1, 5):
+            previous = gs.create_group(f"level{i}", (previous,))
+        gid, proxy = alice.group_client(gs.principal).get_group_proxy(
+            "level4", fs.principal
+        )
+        assert gid == gs.group_id("level4")
+
+    def test_nesting_cycles_terminate(self, world):
+        realm, alice, fs, gs = world
+        a = gs.create_group("cycle-a", ())
+        b = gs.create_group("cycle-b", (a,))
+        gs.add_member("cycle-a", b)  # a <-> b, nobody inside
+        with pytest.raises(AuthorizationDenied):
+            alice.group_client(gs.principal).get_group_proxy(
+                "cycle-a", fs.principal
+            )
+
+    def test_non_member_still_denied(self, world):
+        realm, alice, fs, gs = world
+        engineers = gs.create_group("engineers", ())
+        gs.create_group("staff", (engineers,))
+        with pytest.raises(AuthorizationDenied):
+            alice.group_client(gs.principal).get_group_proxy(
+                "staff", fs.principal
+            )
+
+    def test_query_membership_expands_nesting(self, world):
+        realm, alice, fs, gs = world
+        engineers = gs.create_group("engineers", (alice.principal,))
+        gs.create_group("staff", (engineers,))
+        gc = alice.group_client(gs.principal)
+        assert gc.query_membership("staff", alice.principal)
+        assert gc.query_membership("engineers", alice.principal)
+        outsider = realm.user("outsider")
+        assert not gc.query_membership("staff", outsider.principal)
+
+
+class TestCrossServerNesting:
+    def test_foreign_group_as_member(self, world):
+        """A group from another group server appears as a member here;
+        membership is proven by presenting that server's proxy (§3.3)."""
+        realm, alice, fs, gs = world
+        other_gs = realm.group_server("other-groups")
+        contractors = other_gs.create_group(
+            "contractors", (alice.principal,)
+        )
+        # Local "staff" contains the *foreign* contractors group.
+        gs.create_group("staff", (contractors,))
+        staff = gs.group_id("staff")
+        fs.acl.add(AclEntry(subject=GroupSubject(staff), operations=("read",)))
+
+        # Step 1: alice proves contractors membership *to the gs server*.
+        c_gid, c_proxy = alice.group_client(
+            other_gs.principal
+        ).get_group_proxy("contractors", gs.principal)
+        # Step 2: present it while asking gs for the staff proxy.
+        s_gid, s_proxy = alice.group_client(gs.principal).get_group_proxy(
+            "staff", fs.principal, group_proxies=[(c_gid, c_proxy)]
+        )
+        out = alice.client_for(fs.principal).request(
+            "read", "doc", group_proxies=[(s_gid, s_proxy)]
+        )
+        assert out["data"] == b"data"
+
+    def test_foreign_group_without_proxy_denied(self, world):
+        realm, alice, fs, gs = world
+        other_gs = realm.group_server("other-groups")
+        contractors = other_gs.create_group(
+            "contractors", (alice.principal,)
+        )
+        gs.create_group("staff", (contractors,))
+        # Claiming membership without presenting the contractors proxy:
+        with pytest.raises(AuthorizationDenied):
+            alice.group_client(gs.principal).get_group_proxy(
+                "staff", fs.principal
+            )

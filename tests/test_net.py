@@ -1,0 +1,206 @@
+"""The simulated network: delivery, metering, taps, fault injection."""
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.crypto.rng import Rng
+from repro.encoding.identifiers import PrincipalId
+from repro.errors import (
+    MessageDroppedError,
+    ServiceError,
+    UnknownEndpointError,
+)
+from repro.net import Eavesdropper, LatencyModel, Network
+from repro.net.message import (
+    Message,
+    encode_error,
+    is_error,
+    raise_if_error,
+)
+from repro.net.service import Service
+
+ALICE = PrincipalId("alice")
+SERVER = PrincipalId("server")
+
+
+@pytest.fixture
+def network(clock, rng):
+    return Network(clock, rng=rng)
+
+
+def echo_handler(message: Message) -> dict:
+    return {"echo": message.payload}
+
+
+class TestDelivery:
+    def test_request_response(self, network):
+        network.register(SERVER, echo_handler)
+        reply = network.send(ALICE, SERVER, "ping", {"x": 1})
+        assert reply == {"echo": {"x": 1}}
+
+    def test_unknown_endpoint(self, network):
+        with pytest.raises(UnknownEndpointError):
+            network.send(ALICE, SERVER, "ping", {})
+
+    def test_unregister(self, network):
+        network.register(SERVER, echo_handler)
+        network.unregister(SERVER)
+        with pytest.raises(UnknownEndpointError):
+            network.send(ALICE, SERVER, "ping", {})
+
+    def test_latency_advances_simulated_clock(self, clock, rng):
+        network = Network(
+            clock, latency=LatencyModel(base=0.5, jitter=0.0), rng=rng
+        )
+        network.register(SERVER, echo_handler)
+        before = clock.now()
+        network.send(ALICE, SERVER, "ping", {})
+        # One hop out, one hop back.
+        assert clock.now() == pytest.approx(before + 1.0)
+
+
+class TestMetrics:
+    def test_messages_counted(self, network):
+        network.register(SERVER, echo_handler)
+        before = network.metrics.snapshot()
+        network.send(ALICE, SERVER, "ping", {})
+        delta = network.metrics.delta_since(before)
+        assert delta.messages == 2  # request + reply
+        assert delta.bytes > 0
+
+    def test_by_type_and_pair(self, network):
+        network.register(SERVER, echo_handler)
+        network.send(ALICE, SERVER, "ping", {})
+        snap = network.metrics.snapshot()
+        assert snap.by_type["ping"] == 1
+        assert snap.by_type["ping-reply"] == 1
+        assert snap.by_pair[(str(ALICE), str(SERVER))] == 1
+
+    def test_messages_to(self, network):
+        network.register(SERVER, echo_handler)
+        network.send(ALICE, SERVER, "ping", {})
+        network.send(ALICE, SERVER, "ping", {})
+        snap = network.metrics.snapshot()
+        assert snap.messages_to(SERVER) == 2
+
+    def test_reset(self, network):
+        network.register(SERVER, echo_handler)
+        network.send(ALICE, SERVER, "ping", {})
+        network.metrics.reset()
+        assert network.metrics.snapshot().messages == 0
+
+
+class TestFaultInjection:
+    def test_blackhole(self, network):
+        network.register(SERVER, echo_handler)
+        network.blackhole(SERVER)
+        with pytest.raises(MessageDroppedError):
+            network.send(ALICE, SERVER, "ping", {})
+        network.heal(SERVER)
+        assert network.send(ALICE, SERVER, "ping", {})
+
+    def test_drop_probability_all(self, network):
+        network.register(SERVER, echo_handler)
+        network.set_drop_probability(1.0)
+        with pytest.raises(MessageDroppedError):
+            network.send(ALICE, SERVER, "ping", {})
+        assert network.metrics.snapshot().dropped == 1
+
+    def test_drop_probability_none(self, network):
+        network.register(SERVER, echo_handler)
+        network.set_drop_probability(0.0)
+        network.send(ALICE, SERVER, "ping", {})
+
+    def test_bad_probability_rejected(self, network):
+        with pytest.raises(ValueError):
+            network.set_drop_probability(1.5)
+
+
+class TestEavesdropper:
+    def test_captures_both_directions(self, network):
+        network.register(SERVER, echo_handler)
+        mallory = Eavesdropper()
+        mallory.attach(network)
+        network.send(ALICE, SERVER, "ping", {"secret": b"token"})
+        assert len(mallory.captured) == 2
+        assert mallory.last_of_type("ping").payload == {"secret": b"token"}
+
+    def test_detach_stops_capture(self, network):
+        network.register(SERVER, echo_handler)
+        mallory = Eavesdropper()
+        mallory.attach(network)
+        mallory.detach(network)
+        network.send(ALICE, SERVER, "ping", {})
+        assert mallory.captured == []
+
+    def test_replay(self, network):
+        network.register(SERVER, echo_handler)
+        mallory = Eavesdropper()
+        mallory.attach(network)
+        network.send(ALICE, SERVER, "ping", {"n": 1})
+        captured = mallory.last_of_type("ping")
+        reply = mallory.replay(network, captured)
+        assert reply == {"echo": {"n": 1}}
+
+
+class TestErrorTransport:
+    def test_round_trip(self):
+        from repro.errors import InsufficientFundsError
+
+        payload = encode_error(InsufficientFundsError("broke"))
+        assert is_error(payload)
+        with pytest.raises(InsufficientFundsError, match="broke"):
+            raise_if_error(payload)
+
+    def test_restriction_violation_details_survive(self):
+        from repro.errors import RestrictionViolation
+
+        payload = encode_error(RestrictionViolation("quota", "too much"))
+        with pytest.raises(RestrictionViolation) as info:
+            raise_if_error(payload)
+        assert info.value.restriction_type == "quota"
+
+    def test_unknown_error_becomes_service_error(self):
+        payload = encode_error(ValueError("odd"))
+        with pytest.raises(ServiceError):
+            raise_if_error(payload)
+
+    def test_clean_payload_passes_through(self):
+        assert raise_if_error({"ok": 1}) == {"ok": 1}
+
+
+class TestServiceBase:
+    def test_dispatch(self, network, clock):
+        class Echo(Service):
+            def op_ping(self, message):
+                return {"pong": message.payload["n"]}
+
+        Echo(SERVER, network, clock)
+        assert network.send(ALICE, SERVER, "ping", {"n": 5}) == {"pong": 5}
+
+    def test_unknown_operation(self, network, clock):
+        class Empty(Service):
+            pass
+
+        Empty(SERVER, network, clock)
+        reply = network.send(ALICE, SERVER, "nope", {})
+        assert is_error(reply)
+
+    def test_library_errors_transported(self, network, clock):
+        from repro.errors import AuthorizationDenied
+
+        class Denier(Service):
+            def op_go(self, message):
+                raise AuthorizationDenied("never")
+
+        Denier(SERVER, network, clock)
+        with pytest.raises(AuthorizationDenied):
+            raise_if_error(network.send(ALICE, SERVER, "go", {}))
+
+    def test_hyphen_dispatch(self, network, clock):
+        class Hyphen(Service):
+            def op_two_words(self, message):
+                return {"ok": True}
+
+        Hyphen(SERVER, network, clock)
+        assert network.send(ALICE, SERVER, "two-words", {}) == {"ok": True}

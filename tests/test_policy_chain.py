@@ -1,0 +1,144 @@
+"""Static policy queries and chain-level helpers."""
+
+import pytest
+
+from repro.core.chain import (
+    audit_trail,
+    chain_grantor,
+    describe,
+    effective_expiry,
+    effective_quota,
+    named_grantees,
+    total_restrictions,
+)
+from repro.core.policy import (
+    allowed_exercisers,
+    is_narrower,
+    may_perform,
+    may_use_at,
+    quota_limit,
+    required_groups,
+)
+from repro.core.proxy import cascade, delegate_cascade, grant_conventional
+from repro.core.restrictions import (
+    Authorized,
+    AuthorizedEntry,
+    ForUseByGroup,
+    Grantee,
+    IssuedFor,
+    LimitRestriction,
+    Quota,
+)
+from repro.crypto.keys import SymmetricKey
+from repro.crypto.signature import HmacSigner
+from repro.encoding.identifiers import GroupId, PrincipalId
+
+ALICE = PrincipalId("alice")
+BOB = PrincipalId("bob")
+SERVER = PrincipalId("server")
+OTHER = PrincipalId("other")
+STAFF = GroupId(server=PrincipalId("gs"), group="staff")
+
+
+class TestPolicy:
+    def test_may_use_at(self):
+        restrictions = (IssuedFor(servers=(SERVER,)),)
+        assert may_use_at(restrictions, SERVER)
+        assert not may_use_at(restrictions, OTHER)
+
+    def test_may_use_at_unrestricted(self):
+        assert may_use_at((), OTHER)
+
+    def test_may_perform(self):
+        restrictions = (
+            Authorized(entries=(AuthorizedEntry("f/*", ("read",)),)),
+        )
+        assert may_perform(restrictions, "read", "f/x")
+        assert not may_perform(restrictions, "write", "f/x")
+        assert not may_perform(restrictions, "read", "g/x")
+
+    def test_quota_limit_min_wins(self):
+        restrictions = (
+            Quota(currency="c", limit=100),
+            Quota(currency="c", limit=7),
+            Quota(currency="d", limit=1),
+        )
+        assert quota_limit(restrictions, "c") == 7
+        assert quota_limit(restrictions, "d") == 1
+        assert quota_limit(restrictions, "e") is None
+
+    def test_limit_restriction_scoping(self):
+        scoped = LimitRestriction(
+            servers=(SERVER,), restrictions=(Quota(currency="c", limit=3),)
+        )
+        assert quota_limit((scoped,), "c", server=SERVER) == 3
+        assert quota_limit((scoped,), "c", server=OTHER) is None
+        # Server-agnostic queries are conservative: nested applies.
+        assert quota_limit((scoped,), "c", server=None) == 3
+
+    def test_allowed_exercisers(self):
+        assert allowed_exercisers(()) is None
+        assert allowed_exercisers((Grantee(principals=(BOB,)),)) == (BOB,)
+
+    def test_required_groups(self):
+        r = ForUseByGroup(groups=(STAFF,))
+        assert required_groups((r,)) == (r,)
+
+    def test_is_narrower(self):
+        loose = (Quota(currency="c", limit=10),)
+        tight = loose + (IssuedFor(servers=(SERVER,)),)
+        assert is_narrower(tight, loose)
+        assert not is_narrower(loose, tight)
+        assert is_narrower(loose, loose)
+
+
+class TestChainHelpers:
+    @pytest.fixture
+    def chain(self, rng):
+        shared = SymmetricKey.generate(rng=rng)
+        p = grant_conventional(
+            ALICE, shared,
+            (Quota(currency="c", limit=100), Grantee(principals=(BOB,))),
+            0.0, 1000.0, rng=rng,
+        )
+        bob_shared = SymmetricKey.generate(rng=rng)
+        p2 = delegate_cascade(
+            p, BOB, HmacSigner(key=bob_shared), PrincipalId("carol"),
+            (Quota(currency="c", limit=10),), 0.0, 500.0, rng=rng,
+        )
+        return p2.certificates
+
+    def test_grantor(self, chain):
+        assert chain_grantor(chain) == ALICE
+
+    def test_audit_trail(self, chain):
+        assert audit_trail(chain) == (BOB,)
+
+    def test_effective_expiry(self, chain):
+        assert effective_expiry(chain) == 500.0
+
+    def test_effective_quota(self, chain):
+        assert effective_quota(chain, "c") == 10
+        assert effective_quota(chain, "zzz") is None
+
+    def test_named_grantees_final_link(self, chain):
+        assert named_grantees(chain) == (PrincipalId("carol"),)
+
+    def test_total_restrictions_in_order(self, chain):
+        types = [r.to_wire()["type"] for r in total_restrictions(chain)]
+        assert types == ["quota", "grantee", "grantee", "quota"]
+
+    def test_describe_notation(self, chain):
+        text = describe(chain)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert "Kproxy1" in lines[0]
+        assert str(ALICE) in lines[0]
+        assert "delegate" in lines[1]
+
+    def test_describe_cascade_signs_with_previous_key(self, rng):
+        shared = SymmetricKey.generate(rng=rng)
+        p = grant_conventional(ALICE, shared, (), 0.0, 1000.0, rng=rng)
+        p2 = cascade(p, (Quota(currency="x", limit=1),), 0.0, 1000.0, rng=rng)
+        lines = describe(p2.certificates).splitlines()
+        assert "Kproxy1" in lines[1]  # Fig. 4: signed by previous proxy key

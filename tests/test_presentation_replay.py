@@ -1,0 +1,147 @@
+"""Presentation wire forms and replay caches."""
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.core.presentation import (
+    PossessionProof,
+    PresentedProxy,
+    make_possession_proof,
+    present,
+    request_digest,
+)
+from repro.core.proxy import grant_conventional
+from repro.core.replay import AcceptOnceRegistry, AuthenticatorCache
+from repro.crypto.keys import SymmetricKey
+from repro.encoding.identifiers import PrincipalId
+
+ALICE = PrincipalId("alice")
+SERVER = PrincipalId("server")
+
+
+class TestRequestDigest:
+    def test_deterministic(self):
+        assert request_digest("read", "x") == request_digest("read", "x")
+
+    def test_distinguishes_operation_target_payload(self):
+        base = request_digest("read", "x", b"p")
+        assert request_digest("write", "x", b"p") != base
+        assert request_digest("read", "y", b"p") != base
+        assert request_digest("read", "x", b"q") != base
+
+    def test_none_target_distinct_from_empty(self):
+        assert request_digest("op", None) != request_digest("op", "")
+
+
+class TestPresentationWire:
+    def test_round_trip(self, rng):
+        shared = SymmetricKey.generate(rng=rng)
+        p = grant_conventional(ALICE, shared, (), 0.0, 100.0, rng=rng)
+        presented = present(p, SERVER, 1.0, "read", target="t", claimant=ALICE)
+        again = PresentedProxy.from_wire(presented.to_wire())
+        assert again == presented
+
+    def test_no_proof_round_trip(self, rng):
+        shared = SymmetricKey.generate(rng=rng)
+        p = grant_conventional(ALICE, shared, (), 0.0, 100.0, rng=rng)
+        presented = present(
+            p, SERVER, 1.0, "read", prove_possession=False
+        )
+        again = PresentedProxy.from_wire(presented.to_wire())
+        assert again.proof is None
+
+    def test_proxy_key_never_on_wire(self, rng):
+        """§3.1: presentation carries certificates, never the key."""
+        from repro.encoding.canonical import encode
+
+        shared = SymmetricKey.generate(rng=rng)
+        p = grant_conventional(ALICE, shared, (), 0.0, 100.0, rng=rng)
+        wire_bytes = encode(present(p, SERVER, 1.0, "read").to_wire())
+        assert p.proxy_key.secret not in wire_bytes
+
+    def test_proofs_unique_even_at_same_instant(self, rng):
+        shared = SymmetricKey.generate(rng=rng)
+        p = grant_conventional(ALICE, shared, (), 0.0, 100.0, rng=rng)
+        a = make_possession_proof(p, SERVER, 1.0, b"d" * 32)
+        b = make_possession_proof(p, SERVER, 1.0, b"d" * 32)
+        assert a.replay_key() != b.replay_key()
+
+
+class TestAcceptOnceRegistry:
+    def test_first_registration_true(self):
+        registry = AcceptOnceRegistry(SimulatedClock(0.0))
+        assert registry.register(ALICE, "id", 100.0)
+
+    def test_duplicate_false(self):
+        registry = AcceptOnceRegistry(SimulatedClock(0.0))
+        registry.register(ALICE, "id", 100.0)
+        assert not registry.register(ALICE, "id", 100.0)
+
+    def test_expires(self):
+        clock = SimulatedClock(0.0)
+        registry = AcceptOnceRegistry(clock)
+        registry.register(ALICE, "id", 10.0)
+        clock.advance(11.0)
+        assert registry.register(ALICE, "id", 100.0)
+
+    def test_len_excludes_expired(self):
+        clock = SimulatedClock(0.0)
+        registry = AcceptOnceRegistry(clock)
+        registry.register(ALICE, "a", 10.0)
+        registry.register(ALICE, "b", 1000.0)
+        clock.advance(11.0)
+        assert len(registry) == 1
+
+    def test_transaction_rolls_back_on_error(self):
+        registry = AcceptOnceRegistry(SimulatedClock(0.0))
+        with pytest.raises(RuntimeError):
+            with registry.transaction():
+                registry.register(ALICE, "ck", 100.0)
+                raise RuntimeError("payment failed")
+        # The check number must be usable again (§4: only paid checks
+        # are recorded).
+        assert registry.register(ALICE, "ck", 100.0)
+
+    def test_transaction_commits_on_success(self):
+        registry = AcceptOnceRegistry(SimulatedClock(0.0))
+        with registry.transaction():
+            registry.register(ALICE, "ck", 100.0)
+        assert not registry.register(ALICE, "ck", 100.0)
+
+    def test_nested_transactions(self):
+        registry = AcceptOnceRegistry(SimulatedClock(0.0))
+        with registry.transaction():
+            registry.register(ALICE, "outer", 100.0)
+            with pytest.raises(RuntimeError):
+                with registry.transaction():
+                    registry.register(ALICE, "inner", 100.0)
+                    raise RuntimeError
+        assert not registry.register(ALICE, "outer", 100.0)
+        assert registry.register(ALICE, "inner", 100.0)
+
+
+class TestAuthenticatorCache:
+    def test_first_seen(self):
+        cache = AuthenticatorCache(SimulatedClock(0.0))
+        assert cache.register(b"digest")
+
+    def test_duplicate(self):
+        cache = AuthenticatorCache(SimulatedClock(0.0))
+        cache.register(b"digest")
+        assert not cache.register(b"digest")
+
+    def test_window_expiry(self):
+        clock = SimulatedClock(0.0)
+        cache = AuthenticatorCache(clock, window=10.0)
+        cache.register(b"digest")
+        clock.advance(11.0)
+        assert cache.register(b"digest")
+
+    def test_len(self):
+        clock = SimulatedClock(0.0)
+        cache = AuthenticatorCache(clock, window=10.0)
+        cache.register(b"a")
+        cache.register(b"b")
+        assert len(cache) == 2
+        clock.advance(11.0)
+        assert len(cache) == 0

@@ -1,0 +1,228 @@
+"""Print server (quota currency), name server (Fig. 3 message 0),
+audit log (§3.4), and workload generators."""
+
+import pytest
+
+from repro.audit import AuditLog
+from repro.core.restrictions import Grantee, Quota
+from repro.crypto.rng import Rng
+from repro.errors import ServiceError
+from repro.kerberos.proxy_support import grant_via_credentials
+from repro.services.nameserver import lookup
+from repro.services.printserver import PAGES
+from repro.testbed import Realm
+from repro.workloads import (
+    Zipf,
+    delegation_subsets,
+    file_workload,
+    membership_checks,
+    payment_workload,
+)
+
+
+@pytest.fixture
+def world():
+    realm = Realm(seed=b"print-test")
+    alice = realm.user("alice")
+    ps = realm.print_server("printer")
+    return realm, alice, ps
+
+
+class TestPrintServer:
+    def test_allocate_and_print(self, world):
+        realm, alice, ps = world
+        client = alice.client_for(ps.principal)
+        client.request("allocate", args={"pages": 10})
+        out = client.request(
+            "print", "report.ps", amounts={PAGES: 4}
+        )
+        assert out["remaining"] == 6
+        assert ps.jobs[0]["pages"] == 4
+
+    def test_insufficient_allocation(self, world):
+        realm, alice, ps = world
+        client = alice.client_for(ps.principal)
+        client.request("allocate", args={"pages": 2})
+        with pytest.raises(ServiceError):
+            client.request("print", "big.ps", amounts={PAGES: 3})
+
+    def test_quota_restriction_caps_delegated_printing(self, world):
+        """§7.4: a quota restriction caps a delegated job."""
+        realm, alice, ps = world
+        bob = realm.user("bob")
+        alice.client_for(ps.principal).request(
+            "allocate", args={"pages": 100}
+        )
+        creds = alice.kerberos.get_ticket(ps.principal)
+        proxy = grant_via_credentials(
+            creds,
+            (Grantee(principals=(bob.principal,)), Quota(currency=PAGES, limit=5)),
+            realm.clock.now(),
+        )
+        client = bob.client_for(ps.principal)
+        out = client.request(
+            "print", "small.ps", amounts={PAGES: 5}, proxy=proxy
+        )
+        assert out["remaining"] == 95
+        from repro.errors import RestrictionViolation
+
+        with pytest.raises(RestrictionViolation):
+            client.request(
+                "print", "big.ps", amounts={PAGES: 6}, proxy=proxy
+            )
+
+    def test_job_records_owner_and_submitter(self, world):
+        realm, alice, ps = world
+        bob = realm.user("bob")
+        alice.client_for(ps.principal).request("allocate", args={"pages": 10})
+        creds = alice.kerberos.get_ticket(ps.principal)
+        proxy = grant_via_credentials(
+            creds, (Grantee(principals=(bob.principal,)),), realm.clock.now()
+        )
+        bob.client_for(ps.principal).request(
+            "print", "doc.ps", amounts={PAGES: 1}, proxy=proxy
+        )
+        job = ps.jobs[-1]
+        assert job["owner"] == str(alice.principal)
+        assert job["submitted_by"] == str(bob.principal)
+
+    def test_zero_pages_rejected(self, world):
+        realm, alice, ps = world
+        client = alice.client_for(ps.principal)
+        with pytest.raises(ServiceError):
+            client.request("print", "empty.ps", amounts={})
+
+
+class TestNameServer:
+    def test_lookup_record(self):
+        realm = Realm(seed=b"ns-test")
+        ns = realm.name_server()
+        fs = realm.file_server("files")
+        azs = realm.authorization_server("authz")
+        ns.publish(fs.principal, authorization_server=azs.principal)
+        alice = realm.user("alice")
+        record = lookup(
+            realm.network, alice.principal, ns.principal, fs.principal
+        )
+        assert record["authorization_server"] == azs.principal.to_wire()
+
+    def test_missing_record(self):
+        realm = Realm(seed=b"ns-test2")
+        ns = realm.name_server()
+        alice = realm.user("alice")
+        with pytest.raises(ServiceError):
+            lookup(
+                realm.network, alice.principal, ns.principal,
+                realm.principal("unknown"),
+            )
+
+
+class TestAuditLog:
+    def _verified(self, realm):
+        from repro.core.evaluation import RequestContext
+        from repro.kerberos.proxy_support import endorse
+
+        alice = realm.user("a-user")
+        bob = realm.user("b-user")
+        fs = realm.file_server("audit-files")
+        creds = alice.kerberos.get_ticket(fs.principal)
+        proxy = grant_via_credentials(
+            creds, (Grantee(principals=(bob.principal,)),), realm.clock.now()
+        )
+        carol = realm.user("c-user")
+        endorsed = endorse(
+            proxy, bob.kerberos.get_ticket(fs.principal), carol.principal,
+            (), realm.clock.now(), realm.clock.now() + 100,
+        )
+        wire = endorsed.presentation(
+            fs.principal, realm.clock.now(), "read", claimant=carol.principal
+        )
+        return fs, carol, alice, bob, fs.acceptor.accept(
+            wire,
+            RequestContext(
+                server=fs.principal, operation="read",
+                claimant=carol.principal,
+            ),
+        )
+
+    def test_records_delegation_chain(self):
+        realm = Realm(seed=b"audit-test")
+        fs, carol, alice, bob, verified = self._verified(realm)
+        log = AuditLog()
+        record = log.record(
+            realm.clock.now(), fs.principal, verified, "read", "doc/x"
+        )
+        assert record.grantor == alice.principal
+        assert record.intermediates == (bob.principal,)
+        assert record.claimant == carol.principal
+        assert str(bob.principal) in record.describe()
+
+    def test_involving_queries(self):
+        realm = Realm(seed=b"audit-test2")
+        fs, carol, alice, bob, verified = self._verified(realm)
+        log = AuditLog()
+        log.record(realm.clock.now(), fs.principal, verified, "read", None)
+        for principal in (alice, bob, carol):
+            assert len(log.involving(principal.principal)) == 1
+        assert len(log.involving(realm.principal("stranger"))) == 0
+
+    def test_anonymous_uses(self):
+        from repro.core.verification import VerifiedProxy
+
+        log = AuditLog()
+        log.record(
+            0.0,
+            Realm(seed=b"x").principal("s"),
+            VerifiedProxy(
+                grantor=Realm(seed=b"x").principal("g"),
+                claimant=None,
+                audit_trail=(),
+                expires_at=1.0,
+                bearer=True,
+                chain_length=2,
+            ),
+            "op",
+            None,
+        )
+        assert len(log.anonymous_uses()) == 1
+
+
+class TestWorkloads:
+    def test_zipf_skews_to_low_ranks(self):
+        z = Zipf(100, s=1.2, rng=Rng(seed=b"z"))
+        samples = [z.sample() for _ in range(2000)]
+        assert all(0 <= s < 100 for s in samples)
+        head = sum(1 for s in samples if s < 10)
+        assert head > len(samples) * 0.4  # heavy head
+
+    def test_file_workload_mix(self):
+        ops = file_workload(
+            500, n_files=20, read_fraction=0.8, rng=Rng(seed=b"f")
+        )
+        assert len(ops) == 500
+        reads = sum(1 for op in ops if op.operation == "read")
+        assert 300 < reads < 490
+        assert all(op.size > 0 for op in ops if op.operation == "write")
+
+    def test_payment_workload(self):
+        payments = payment_workload(
+            200, n_clients=10, n_merchants=5, rng=Rng(seed=b"p")
+        )
+        assert len(payments) == 200
+        assert all(0 <= p.payor < 10 for p in payments)
+        assert all(0 <= p.payee < 5 for p in payments)
+        assert all(p.amount >= 1 for p in payments)
+
+    def test_membership_checks(self):
+        checks = membership_checks(100, 10, rng=Rng(seed=b"m"))
+        assert len(checks) == 100
+
+    def test_delegation_subsets(self):
+        subsets = delegation_subsets(50, 20, subset_size=3, rng=Rng(seed=b"d"))
+        assert len(subsets) == 50
+        assert all(len(s) == 3 for s in subsets)
+
+    def test_deterministic_with_seed(self):
+        a = file_workload(50, rng=Rng(seed=b"same"))
+        b = file_workload(50, rng=Rng(seed=b"same"))
+        assert a == b

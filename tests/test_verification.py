@@ -1,0 +1,491 @@
+"""The end-server verification engine: the system's trust boundary."""
+
+import dataclasses
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.core.evaluation import RequestContext
+from repro.core.presentation import PresentedProxy, present
+from repro.core.proxy import (
+    cascade,
+    delegate_cascade,
+    grant_conventional,
+    grant_hybrid,
+    grant_public,
+)
+from repro.core.restrictions import (
+    Authorized,
+    AuthorizedEntry,
+    Grantee,
+    IssuedFor,
+    Quota,
+)
+from repro.core.verification import (
+    ProxyVerifier,
+    PublicKeyCrypto,
+    SharedKeyCrypto,
+)
+from repro.crypto import schnorr
+from repro.crypto.dh import TEST_GROUP
+from repro.crypto.keys import SymmetricKey
+from repro.crypto.rng import Rng
+from repro.crypto.signature import SchnorrSigner
+from repro.encoding.identifiers import PrincipalId
+from repro.errors import (
+    ProxyExpiredError,
+    ProxyVerificationError,
+    ReplayError,
+    RestrictionViolation,
+)
+
+ALICE = PrincipalId("alice")
+BOB = PrincipalId("bob")
+CAROL = PrincipalId("carol")
+SERVER = PrincipalId("server")
+START = 1000.0
+
+
+@pytest.fixture
+def clock():
+    return SimulatedClock(START)
+
+
+@pytest.fixture
+def shared(rng):
+    return SymmetricKey.generate(rng=rng)
+
+
+@pytest.fixture
+def verifier(clock, shared):
+    return ProxyVerifier(
+        server=SERVER,
+        crypto=SharedKeyCrypto({ALICE: shared}),
+        clock=clock,
+    )
+
+
+def req(**kwargs):
+    defaults = dict(server=SERVER, operation="read")
+    defaults.update(kwargs)
+    return RequestContext(**defaults)
+
+
+class TestBearerVerification:
+    def test_simple_bearer(self, clock, shared, verifier, rng):
+        p = grant_conventional(ALICE, shared, (), START, START + 100, rng=rng)
+        result = verifier.verify(
+            present(p, SERVER, clock.now(), "read"), req()
+        )
+        assert result.grantor == ALICE
+        assert result.bearer
+        assert result.chain_length == 1
+        assert result.audit_trail == ()
+
+    def test_unknown_grantor_rejected(self, clock, verifier, rng):
+        other_key = SymmetricKey.generate(rng=rng)
+        p = grant_conventional(BOB, other_key, (), START, START + 100, rng=rng)
+        with pytest.raises(ProxyVerificationError):
+            verifier.verify(present(p, SERVER, clock.now(), "read"), req())
+
+    def test_wrong_shared_key_rejected(self, clock, rng, shared):
+        impostor_key = SymmetricKey.generate(rng=rng)
+        p = grant_conventional(
+            ALICE, impostor_key, (), START, START + 100, rng=rng
+        )
+        verifier = ProxyVerifier(
+            server=SERVER, crypto=SharedKeyCrypto({ALICE: shared}), clock=SimulatedClock(START)
+        )
+        with pytest.raises(ProxyVerificationError):
+            verifier.verify(present(p, SERVER, START, "read"), req())
+
+    def test_expired_proxy_rejected(self, clock, shared, verifier, rng):
+        p = grant_conventional(ALICE, shared, (), START, START + 10, rng=rng)
+        presented = present(p, SERVER, clock.now(), "read")
+        clock.advance(11)
+        with pytest.raises(ProxyExpiredError):
+            verifier.verify(presented, req())
+
+    def test_future_issue_rejected(self, clock, shared, verifier, rng):
+        p = grant_conventional(
+            ALICE, shared, (), START + 500, START + 600, rng=rng
+        )
+        with pytest.raises(ProxyVerificationError):
+            verifier.verify(present(p, SERVER, clock.now(), "read"), req())
+
+    def test_empty_chain_rejected(self, verifier):
+        with pytest.raises(ProxyVerificationError):
+            verifier.verify(
+                PresentedProxy(certificates=()), req()
+            )
+
+    def test_neither_proof_nor_claimant_rejected(
+        self, clock, shared, verifier, rng
+    ):
+        p = grant_conventional(ALICE, shared, (), START, START + 100, rng=rng)
+        presented = present(
+            p, SERVER, clock.now(), "read", prove_possession=False
+        )
+        with pytest.raises(ProxyVerificationError):
+            verifier.verify(presented, req())
+
+
+class TestPossessionProof:
+    def test_proof_for_other_server_rejected(
+        self, clock, shared, verifier, rng
+    ):
+        p = grant_conventional(ALICE, shared, (), START, START + 100, rng=rng)
+        presented = present(p, PrincipalId("elsewhere"), clock.now(), "read")
+        with pytest.raises(ProxyVerificationError):
+            verifier.verify(presented, req())
+
+    def test_stale_proof_rejected(self, clock, shared, verifier, rng):
+        p = grant_conventional(ALICE, shared, (), START, START + 10_000, rng=rng)
+        presented = present(p, SERVER, clock.now(), "read")
+        clock.advance(verifier.freshness_window + 1)
+        with pytest.raises(ProxyVerificationError):
+            verifier.verify(presented, req())
+
+    def test_replayed_proof_rejected(self, clock, shared, verifier, rng):
+        """§2/§3.1: an eavesdropped presentation cannot be replayed."""
+        p = grant_conventional(ALICE, shared, (), START, START + 100, rng=rng)
+        presented = present(p, SERVER, clock.now(), "read")
+        verifier.verify(presented, req())
+        with pytest.raises(ReplayError):
+            verifier.verify(presented, req())
+
+    def test_proof_signed_by_wrong_key_rejected(
+        self, clock, shared, verifier, rng
+    ):
+        p = grant_conventional(ALICE, shared, (), START, START + 100, rng=rng)
+        q = grant_conventional(ALICE, shared, (), START, START + 100, rng=rng)
+        # Present p's certificates with a proof made using q's proxy key.
+        wrong = present(q, SERVER, clock.now(), "read")
+        forged = PresentedProxy(
+            certificates=p.certificates, proof=wrong.proof
+        )
+        with pytest.raises(ProxyVerificationError):
+            verifier.verify(forged, req())
+
+    def test_digest_binding(self, clock, shared, verifier, rng):
+        from repro.core.presentation import request_digest
+
+        p = grant_conventional(ALICE, shared, (), START, START + 100, rng=rng)
+        presented = present(p, SERVER, clock.now(), "read", target="a")
+        with pytest.raises(ProxyVerificationError):
+            verifier.verify(
+                presented,
+                req(target="b"),
+                expected_digest=request_digest("read", "b"),
+            )
+
+
+class TestRestrictionEnforcement:
+    def test_authorized_enforced(self, clock, shared, verifier, rng):
+        p = grant_conventional(
+            ALICE,
+            shared,
+            (Authorized(entries=(AuthorizedEntry("x", ("read",)),)),),
+            START, START + 100, rng=rng,
+        )
+        verifier.verify(
+            present(p, SERVER, clock.now(), "read", target="x"),
+            req(target="x"),
+        )
+        with pytest.raises(RestrictionViolation):
+            verifier.verify(
+                present(p, SERVER, clock.now(), "write", target="x"),
+                req(operation="write", target="x"),
+            )
+
+    def test_issued_for_enforced(self, clock, shared, verifier, rng):
+        p = grant_conventional(
+            ALICE, shared,
+            (IssuedFor(servers=(PrincipalId("elsewhere"),)),),
+            START, START + 100, rng=rng,
+        )
+        with pytest.raises(RestrictionViolation):
+            verifier.verify(present(p, SERVER, clock.now(), "read"), req())
+
+    def test_quota_enforced_across_links(self, clock, shared, verifier, rng):
+        p = grant_conventional(
+            ALICE, shared, (Quota(currency="c", limit=100),),
+            START, START + 100, rng=rng,
+        )
+        p2 = cascade(p, (Quota(currency="c", limit=10),), START, START + 100, rng=rng)
+        verifier.verify(
+            present(p2, SERVER, clock.now(), "read"),
+            req(amounts={"c": 10}),
+        )
+        with pytest.raises(RestrictionViolation):
+            verifier.verify(
+                present(p2, SERVER, clock.now(), "read"),
+                req(amounts={"c": 50}),  # within link 1 but not link 2
+            )
+
+    def test_issuer_mode_skips_end_server_restrictions(
+        self, clock, shared, verifier, rng
+    ):
+        p = grant_conventional(
+            ALICE, shared,
+            (Authorized(entries=(AuthorizedEntry("x", ("read",)),)),),
+            START, START + 100, rng=rng,
+        )
+        # operation not covered by the authorized list, but issuer mode
+        # propagates instead of evaluating (§7.9).
+        verifier.verify(
+            present(p, SERVER, clock.now(), "obtain-ticket"),
+            req(operation="obtain-ticket"),
+            issuer_mode=True,
+        )
+
+    def test_issuer_mode_still_checks_issued_for(
+        self, clock, shared, verifier, rng
+    ):
+        p = grant_conventional(
+            ALICE, shared,
+            (IssuedFor(servers=(PrincipalId("elsewhere"),)),),
+            START, START + 100, rng=rng,
+        )
+        with pytest.raises(RestrictionViolation):
+            verifier.verify(
+                present(p, SERVER, clock.now(), "op"),
+                req(operation="op"),
+                issuer_mode=True,
+            )
+
+
+class TestDelegateVerification:
+    def test_named_claimant_passes(self, clock, shared, verifier, rng):
+        p = grant_conventional(
+            ALICE, shared, (Grantee(principals=(BOB,)),),
+            START, START + 100, rng=rng,
+        )
+        presented = present(
+            p, SERVER, clock.now(), "read", prove_possession=False
+        )
+        result = verifier.verify(presented, req(claimant=BOB))
+        assert result.claimant == BOB
+        assert not result.bearer
+
+    def test_wrong_claimant_fails(self, clock, shared, verifier, rng):
+        p = grant_conventional(
+            ALICE, shared, (Grantee(principals=(BOB,)),),
+            START, START + 100, rng=rng,
+        )
+        presented = present(
+            p, SERVER, clock.now(), "read", prove_possession=False
+        )
+        with pytest.raises(RestrictionViolation):
+            verifier.verify(presented, req(claimant=CAROL))
+
+    def test_wire_claimant_not_trusted(self, clock, shared, verifier, rng):
+        """The attacker-controlled wire claimant must be ignored."""
+        p = grant_conventional(
+            ALICE, shared, (Grantee(principals=(BOB,)),),
+            START, START + 100, rng=rng,
+        )
+        presented = present(
+            p, SERVER, clock.now(), "read",
+            prove_possession=False, claimant=BOB,  # asserted, not proven
+        )
+        # Server-side session layer authenticated nobody:
+        with pytest.raises(ProxyVerificationError):
+            verifier.verify(presented, req(claimant=None))
+
+    def test_possession_alone_insufficient_for_delegate(
+        self, clock, shared, verifier, rng
+    ):
+        """Stealing a delegate proxy's key doesn't help without identity."""
+        p = grant_conventional(
+            ALICE, shared, (Grantee(principals=(BOB,)),),
+            START, START + 100, rng=rng,
+        )
+        presented = present(p, SERVER, clock.now(), "read")  # PoP only
+        with pytest.raises(RestrictionViolation):
+            verifier.verify(presented, req(claimant=None))
+
+
+class TestCascadeVerification:
+    def test_bearer_cascade_chain(self, clock, shared, verifier, rng):
+        p = grant_conventional(ALICE, shared, (), START, START + 100, rng=rng)
+        p2 = cascade(p, (), START, START + 100, rng=rng)
+        p3 = cascade(p2, (), START, START + 100, rng=rng)
+        result = verifier.verify(
+            present(p3, SERVER, clock.now(), "read"), req()
+        )
+        assert result.chain_length == 3
+        assert result.grantor == ALICE
+        assert result.audit_trail == ()  # bearer cascades are anonymous
+
+    def test_old_key_cannot_use_new_chain(self, clock, shared, verifier, rng):
+        """After cascading, the original key does not satisfy the new chain."""
+        p = grant_conventional(ALICE, shared, (), START, START + 100, rng=rng)
+        p2 = cascade(p, (Quota(currency="c", limit=1),), START, START + 100, rng=rng)
+        # Proof made with p's key but p2's certificates.
+        stale = present(p, SERVER, clock.now(), "read")
+        forged = PresentedProxy(
+            certificates=p2.certificates, proof=stale.proof
+        )
+        with pytest.raises(ProxyVerificationError):
+            verifier.verify(forged, req())
+
+    def test_truncated_chain_detected(self, clock, shared, verifier, rng):
+        """Dropping the re-restricted link leaves a proof that can't verify."""
+        p = grant_conventional(ALICE, shared, (), START, START + 100, rng=rng)
+        p2 = cascade(p, (Quota(currency="c", limit=1),), START, START + 100, rng=rng)
+        # Present only the root cert, but sign with the cascaded key.
+        proof_presented = present(p2, SERVER, clock.now(), "read")
+        forged = PresentedProxy(
+            certificates=p.certificates, proof=proof_presented.proof
+        )
+        with pytest.raises(ProxyVerificationError):
+            verifier.verify(forged, req())
+
+    def test_max_chain_length(self, clock, shared, rng):
+        verifier = ProxyVerifier(
+            server=SERVER,
+            crypto=SharedKeyCrypto({ALICE: shared}),
+            clock=clock,
+            max_chain_length=3,
+        )
+        p = grant_conventional(ALICE, shared, (), START, START + 100, rng=rng)
+        for _ in range(3):
+            p = cascade(p, (), START, START + 100, rng=rng)
+        with pytest.raises(ProxyVerificationError):
+            verifier.verify(present(p, SERVER, clock.now(), "read"), req())
+
+    def test_delegate_cascade_builds_audit_trail(
+        self, clock, shared, verifier, rng
+    ):
+        """§3.4: delegate cascades record intermediates."""
+        bob_identity = schnorr.generate_keypair(TEST_GROUP, rng=rng)
+        verifier.crypto.add_shared_key  # (shared-key context)
+        # Bob's identity must be resolvable: register a shared key for him.
+        bob_shared = SymmetricKey.generate(rng=rng)
+        verifier.crypto.add_shared_key(BOB, bob_shared)
+
+        p = grant_conventional(
+            ALICE, shared, (Grantee(principals=(BOB,)),),
+            START, START + 100, rng=rng,
+        )
+        from repro.crypto.signature import HmacSigner
+
+        p2 = delegate_cascade(
+            p, BOB, HmacSigner(key=bob_shared), CAROL,
+            (), START, START + 100, rng=rng, group=TEST_GROUP,
+        )
+        presented = present(
+            p2, SERVER, clock.now(), "read", prove_possession=True
+        )
+        result = verifier.verify(presented, req(claimant=CAROL))
+        assert result.audit_trail == (BOB,)
+        assert result.grantor == ALICE
+
+
+class TestPublicKeyVerification:
+    def test_public_chain(self, clock, rng):
+        identity = schnorr.generate_keypair(TEST_GROUP, rng=rng)
+        crypto = PublicKeyCrypto(
+            directory={ALICE: SchnorrSigner(identity).verifier()}
+        )
+        verifier = ProxyVerifier(server=SERVER, crypto=crypto, clock=clock)
+        p = grant_public(
+            ALICE, SchnorrSigner(identity), (), START, START + 100,
+            rng=rng, group=TEST_GROUP,
+        )
+        p2 = cascade(p, (), START, START + 100, rng=rng)
+        result = verifier.verify(
+            present(p2, SERVER, clock.now(), "read"), req()
+        )
+        assert result.grantor == ALICE
+
+    def test_hybrid_binding(self, clock, rng):
+        identity = schnorr.generate_keypair(TEST_GROUP, rng=rng)
+        server_key = schnorr.generate_keypair(TEST_GROUP, rng=rng)
+        crypto = PublicKeyCrypto(
+            directory={ALICE: SchnorrSigner(identity).verifier()},
+            own_schnorr=server_key,
+        )
+        verifier = ProxyVerifier(server=SERVER, crypto=crypto, clock=clock)
+        p = grant_hybrid(
+            ALICE, SchnorrSigner(identity), SERVER, server_key.public,
+            (), START, START + 100, rng=rng,
+        )
+        result = verifier.verify(
+            present(p, SERVER, clock.now(), "read"), req()
+        )
+        assert result.grantor == ALICE
+
+    def test_hybrid_binding_wrong_server_rejected(self, clock, rng):
+        """§6.1: the hybrid proxy key is locked to one end-server."""
+        identity = schnorr.generate_keypair(TEST_GROUP, rng=rng)
+        server_key = schnorr.generate_keypair(TEST_GROUP, rng=rng)
+        crypto = PublicKeyCrypto(
+            directory={ALICE: SchnorrSigner(identity).verifier()},
+            own_schnorr=server_key,
+        )
+        verifier = ProxyVerifier(server=SERVER, crypto=crypto, clock=clock)
+        p = grant_hybrid(
+            ALICE, SchnorrSigner(identity), PrincipalId("elsewhere"),
+            server_key.public, (), START, START + 100, rng=rng,
+        )
+        with pytest.raises(ProxyVerificationError):
+            verifier.verify(present(p, SERVER, clock.now(), "read"), req())
+
+    def test_revocation_by_directory_removal(self, clock, rng):
+        """§3.1: revoking the grantor's rights kills derived capabilities."""
+        identity = schnorr.generate_keypair(TEST_GROUP, rng=rng)
+        crypto = PublicKeyCrypto(
+            directory={ALICE: SchnorrSigner(identity).verifier()}
+        )
+        verifier = ProxyVerifier(server=SERVER, crypto=crypto, clock=clock)
+        p = grant_public(
+            ALICE, SchnorrSigner(identity), (), START, START + 100,
+            rng=rng, group=TEST_GROUP,
+        )
+        verifier.verify(present(p, SERVER, clock.now(), "read"), req())
+        crypto.remove_principal(ALICE)
+        with pytest.raises(ProxyVerificationError):
+            verifier.verify(present(p, SERVER, clock.now(), "read"), req())
+
+
+class TestTampering:
+    def test_loosened_restriction_rejected(self, clock, shared, verifier, rng):
+        p = grant_conventional(
+            ALICE, shared, (Quota(currency="c", limit=1),),
+            START, START + 100, rng=rng,
+        )
+        loosened_cert = dataclasses.replace(
+            p.certificates[0],
+            restrictions=(Quota(currency="c", limit=10**9),),
+        )
+        forged = PresentedProxy(
+            certificates=(loosened_cert,),
+            proof=present(p, SERVER, clock.now(), "read").proof,
+        )
+        with pytest.raises(ProxyVerificationError):
+            verifier.verify(forged, req(amounts={"c": 10**6}))
+
+    def test_extended_expiry_rejected(self, clock, shared, verifier, rng):
+        p = grant_conventional(ALICE, shared, (), START, START + 10, rng=rng)
+        extended_cert = dataclasses.replace(
+            p.certificates[0], expires_at=START + 10_000
+        )
+        forged = PresentedProxy(
+            certificates=(extended_cert,),
+            proof=present(p, SERVER, clock.now(), "read").proof,
+        )
+        with pytest.raises(ProxyVerificationError):
+            verifier.verify(forged, req())
+
+    def test_swapped_grantor_rejected(self, clock, shared, verifier, rng):
+        p = grant_conventional(ALICE, shared, (), START, START + 100, rng=rng)
+        renamed = dataclasses.replace(p.certificates[0], grantor=BOB)
+        verifier.crypto.add_shared_key(BOB, shared)
+        forged = PresentedProxy(
+            certificates=(renamed,),
+            proof=present(p, SERVER, clock.now(), "read").proof,
+        )
+        with pytest.raises(ProxyVerificationError):
+            verifier.verify(forged, req())
