@@ -117,6 +117,52 @@ def test_verify_public(benchmark, n_restrictions):
     assert result.grantor == ALICE
 
 
+def test_fig1_instrumented_verify(benchmark, telemetry):
+    """Grant/verify under live telemetry: the hot-path histograms fill up.
+
+    The exported Prometheus text must carry nonzero ``verify_chain_seconds``
+    samples — the observability acceptance gate for the verifier hot path.
+    """
+    rng, shared, clock, _ = conventional_setup()
+    verifier = ProxyVerifier(
+        server=SERVER,
+        crypto=SharedKeyCrypto({ALICE: shared}),
+        clock=clock,
+        telemetry=telemetry,
+    )
+    proxy = grant_conventional(
+        ALICE, shared, restrictions_of(4), START, START + 3600, rng
+    )
+    context = RequestContext(server=SERVER, operation="read")
+
+    def run():
+        presented = present(proxy, SERVER, clock.now(), "read")
+        return verifier.verify(presented, context)
+
+    assert benchmark(run).grantor == ALICE
+    text = telemetry.prometheus()
+    assert "verify_chain_seconds" in text
+    verifications = telemetry.metrics.counter(
+        "proxy_verifications_total"
+    ).total()
+    assert verifications > 0
+    report(
+        "F1: instrumented verification (telemetry on)",
+        [
+            ("proxy_verifications_total", int(verifications)),
+            (
+                "signature ops observed",
+                int(
+                    telemetry.metrics.counter(
+                        "signature_operations_total"
+                    ).total()
+                ),
+            ),
+        ],
+        ("metric", "value"),
+    )
+
+
 def test_fig1_structure_report(benchmark):
     """Print Fig. 1 as built: certificate fields and wire sizes."""
     rng, shared, clock, verifier = conventional_setup()

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.obs import Telemetry
 from repro.testbed import Realm
 
 _REPORTED = []
@@ -46,5 +47,15 @@ def realm():
     return Realm(seed=b"bench-realm")
 
 
-def fresh_realm(tag: bytes) -> Realm:
-    return Realm(seed=b"bench-" + tag)
+@pytest.fixture
+def telemetry():
+    """A live Telemetry capturing crypto hot paths for one benchmark."""
+    t = Telemetry(capture_crypto=True)
+    try:
+        yield t
+    finally:
+        t.release_crypto()
+
+
+def fresh_realm(tag: bytes, telemetry=None) -> Realm:
+    return Realm(seed=b"bench-" + tag, telemetry=telemetry)

@@ -1,11 +1,18 @@
 """``python -m repro`` — a guided tour of the restricted-proxy system.
 
-Runs a condensed end-to-end demonstration of every §3/§4 mechanism on a
-fresh simulated realm, narrating what the paper calls each step.  For the
-full walkthroughs see ``examples/``.
+With no arguments, runs a condensed end-to-end demonstration of every
+§3/§4 mechanism on a fresh simulated realm, narrating what the paper
+calls each step (for the full walkthroughs see ``examples/``).
+
+``python -m repro trace <figure>`` replays one of the paper's protocol
+figures (fig1, fig3, fig4, fig5) under live telemetry and prints the
+span tree, the numbered message trace in the figure's notation, and the
+Prometheus metrics the run produced.
 """
 
 from __future__ import annotations
+
+import argparse
 
 from repro.acl import AclEntry, GroupSubject, SinglePrincipal
 from repro.core.restrictions import Authorized, AuthorizedEntry
@@ -18,7 +25,7 @@ def banner(text: str) -> None:
     print(f"\n== {text} ==")
 
 
-def main() -> None:
+def tour() -> None:
     print("repro — Neuman, 'Proxy-Based Authorization and Accounting for")
     print("Distributed Systems' (ICDCS 1993), reproduced in Python.")
 
@@ -101,6 +108,57 @@ def main() -> None:
     print(f"\ntotal network traffic: {snapshot.messages} messages, "
           f"{snapshot.bytes} bytes")
     print("see examples/ and EXPERIMENTS.md for the full reproduction.")
+
+
+def trace(figure: str, jsonl: str = "", metrics: bool = True) -> None:
+    """Replay one figure under telemetry and print every view of it."""
+    from repro.obs import Telemetry
+    from repro.obs.figures import run_figure
+
+    telemetry = Telemetry(capture_crypto=True)
+    try:
+        run_figure(figure, telemetry)
+    finally:
+        telemetry.release_crypto()
+
+    print(f"== {figure}: span tree (simulated clock) ==\n")
+    print(telemetry.render_tree())
+    print(f"\n== {figure}: message trace (figure notation) ==\n")
+    print(telemetry.render_message_trace())
+    if metrics:
+        print(f"\n== {figure}: metrics (Prometheus text format) ==\n")
+        print(telemetry.prometheus(), end="")
+    if jsonl:
+        with open(jsonl, "w", encoding="utf-8") as handle:
+            handle.write(telemetry.spans_jsonl() + "\n")
+        print(f"\nwrote {len(telemetry.tracer.spans)} spans to {jsonl}")
+
+
+def main(argv=None) -> None:
+    from repro.obs.figures import FIGURES
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Restricted-proxy reproduction: tour and protocol traces.",
+    )
+    sub = parser.add_subparsers(dest="command")
+    trace_parser = sub.add_parser(
+        "trace", help="replay a paper figure under telemetry"
+    )
+    trace_parser.add_argument("figure", choices=sorted(FIGURES))
+    trace_parser.add_argument(
+        "--jsonl", default="", help="also dump spans as JSON lines to a file"
+    )
+    trace_parser.add_argument(
+        "--no-metrics",
+        action="store_true",
+        help="skip the Prometheus metrics section",
+    )
+    args = parser.parse_args(argv)
+    if args.command == "trace":
+        trace(args.figure, jsonl=args.jsonl, metrics=not args.no_metrics)
+    else:
+        tour()
 
 
 if __name__ == "__main__":

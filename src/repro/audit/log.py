@@ -7,6 +7,12 @@ since the new proxy identifies the intermediate server."
 :class:`AuditLog` collects one record per verified presentation: who was
 authorized (root grantor), through whom (the identity-signed intermediates),
 exercised by whom, for what.  End-servers append to it; operators query it.
+
+When a :class:`~repro.obs.telemetry.Telemetry` is attached, every record is
+also emitted as an ``audit.record`` span event on whatever span is active
+at verification time, so audit trails and protocol traces correlate by
+protocol-run id — the auditable, attributable evidence a tracing layer
+exists to provide.
 """
 
 from __future__ import annotations
@@ -47,8 +53,9 @@ class AuditRecord:
 class AuditLog:
     """Append-only audit store with simple queries."""
 
-    def __init__(self) -> None:
+    def __init__(self, telemetry=None) -> None:
         self._records: List[AuditRecord] = []
+        self._telemetry = telemetry
 
     def record(
         self,
@@ -69,6 +76,28 @@ class AuditLog:
             bearer=verified.bearer,
         )
         self._records.append(entry)
+        telemetry = self._telemetry
+        if telemetry is not None and telemetry.enabled:
+            telemetry.event(
+                "audit.record",
+                server=str(server),
+                grantor=str(entry.grantor),
+                claimant=(
+                    str(entry.claimant)
+                    if entry.claimant is not None
+                    else None
+                ),
+                via=" -> ".join(str(p) for p in entry.intermediates),
+                operation=operation,
+                target=target,
+                bearer=entry.bearer,
+            )
+            telemetry.inc(
+                "audit_records_total",
+                help="Audit records written, by server and kind.",
+                server=str(server),
+                kind="bearer" if entry.bearer else "delegate",
+            )
         return entry
 
     def all(self) -> Tuple[AuditRecord, ...]:

@@ -16,7 +16,7 @@ principal that signed link *i+1*, not by the final claimant.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, FrozenSet, Optional, Protocol
+from typing import Dict, FrozenSet, Iterable, Optional, Protocol
 
 from repro.encoding.identifiers import GroupId, PrincipalId
 
@@ -97,4 +97,47 @@ class RequestContext:
             grantor=grantor,
             exercisers=exercisers,
             link_expires_at=link_expires_at,
+        )
+
+
+def evaluate(
+    restrictions: Iterable, context: RequestContext, telemetry=None
+) -> None:
+    """Check every restriction against ``context``, reporting outcomes.
+
+    Additive semantics (§6.2): all must pass, so the first refusal
+    propagates.  With telemetry attached, each decision lands in the
+    ``restriction_checks_total`` counter (labelled by restriction kind and
+    outcome) and refusals are recorded as ``restriction.denied`` span
+    events — the per-link evidence trail a span tree shows alongside the
+    messages.  Without telemetry this is exactly
+    :func:`repro.core.restrictions.check_all`.
+    """
+    if telemetry is None or not telemetry.enabled:
+        for restriction in restrictions:
+            restriction.check(context)
+        return
+    for restriction in restrictions:
+        kind = type(restriction).__name__
+        try:
+            restriction.check(context)
+        except Exception as exc:
+            telemetry.inc(
+                "restriction_checks_total",
+                help="Restriction evaluations, by kind and outcome.",
+                kind=kind,
+                outcome="denied",
+            )
+            telemetry.event(
+                "restriction.denied",
+                kind=kind,
+                operation=context.operation,
+                reason=str(exc),
+            )
+            raise
+        telemetry.inc(
+            "restriction_checks_total",
+            help="Restriction evaluations, by kind and outcome.",
+            kind=kind,
+            outcome="allowed",
         )

@@ -28,6 +28,7 @@ the audit trail of intermediates, and the chain's effective expiry.
 
 from __future__ import annotations
 
+import time as _time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Optional, Tuple, Union
@@ -42,7 +43,7 @@ from repro.core.certificate import (
     PublicKeyBinding,
     SealedKeyBinding,
 )
-from repro.core.evaluation import RequestContext
+from repro.core.evaluation import RequestContext, evaluate
 from repro.core.presentation import PresentedProxy
 from repro.core.replay import AcceptOnceRegistry, AuthenticatorCache
 from repro.core.restrictions import (
@@ -50,7 +51,6 @@ from repro.core.restrictions import (
     Grantee,
     IssuedFor,
     LimitRestriction,
-    check_all,
 )
 from repro.crypto import rsa as _rsa
 from repro.crypto import schnorr as _schnorr
@@ -69,8 +69,10 @@ from repro.errors import (
     ProxyExpiredError,
     ProxyVerificationError,
     ReplayError,
+    ReproError,
     SignatureError,
 )
+from repro.obs.telemetry import NO_TELEMETRY, Telemetry
 
 
 # ---------------------------------------------------------------------------
@@ -252,6 +254,9 @@ class ProxyVerifier:
         freshness_window: how old a possession proof may be.
         max_chain_length: upper bound on accepted cascade depth (defense
             against resource-exhaustion chains).
+        telemetry: observability sink; each verification opens a
+            ``verify.chain`` span and feeds the ``verify_chain_seconds``
+            histogram.  Defaults to the no-op telemetry.
     """
 
     def __init__(
@@ -262,6 +267,7 @@ class ProxyVerifier:
         max_skew: float = 60.0,
         freshness_window: float = 300.0,
         max_chain_length: int = 32,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.server = server
         self.crypto = crypto
@@ -269,6 +275,9 @@ class ProxyVerifier:
         self.max_skew = max_skew
         self.freshness_window = freshness_window
         self.max_chain_length = max_chain_length
+        self.telemetry = (
+            telemetry if telemetry is not None else NO_TELEMETRY
+        )
         self.accept_once = AcceptOnceRegistry(clock)
         self.authenticators = AuthenticatorCache(clock, window=freshness_window)
 
@@ -350,6 +359,60 @@ class ProxyVerifier:
     # -- the main entry point ------------------------------------------------
 
     def verify(
+        self,
+        presented: PresentedProxy,
+        request: RequestContext,
+        expected_digest: Optional[bytes] = None,
+        issuer_mode: bool = False,
+    ) -> VerifiedProxy:
+        """Instrumented wrapper around :meth:`_verify_presentation`.
+
+        Chain verification is the trust boundary *and* the compute hot
+        path, so it is both traced (a ``verify.chain`` span carrying
+        grantor, chain length, and outcome) and measured (the
+        ``verify_chain_seconds`` histogram uses real CPU time — this cost
+        is cryptography, not simulated latency).
+        """
+        telemetry = self.telemetry
+        start = _time.perf_counter()
+        outcome = "verified"
+        try:
+            with telemetry.span(
+                "verify.chain",
+                server=str(self.server),
+                chain_length=len(presented.certificates),
+                issuer_mode=issuer_mode,
+            ) as span:
+                verified = self._verify_presentation(
+                    presented, request, expected_digest, issuer_mode
+                )
+                span.set(
+                    grantor=str(verified.grantor),
+                    bearer=verified.bearer,
+                    claimant=(
+                        str(verified.claimant)
+                        if verified.claimant is not None
+                        else None
+                    ),
+                    audit_trail=[str(p) for p in verified.audit_trail],
+                )
+                return verified
+        except ReproError as exc:
+            outcome = type(exc).__name__
+            raise
+        finally:
+            telemetry.observe(
+                "verify_chain_seconds",
+                _time.perf_counter() - start,
+                help="Real time spent verifying one proxy chain.",
+            )
+            telemetry.inc(
+                "proxy_verifications_total",
+                help="Proxy-chain verifications, by outcome.",
+                outcome=outcome,
+            )
+
+    def _verify_presentation(
         self,
         presented: PresentedProxy,
         request: RequestContext,
@@ -469,7 +532,7 @@ class ProxyVerifier:
                     for r in restrictions
                     if isinstance(r, ISSUER_CHECKED_RESTRICTIONS)
                 )
-            check_all(restrictions, link_context)
+            evaluate(restrictions, link_context, self.telemetry)
 
         return VerifiedProxy(
             grantor=certs[0].grantor,

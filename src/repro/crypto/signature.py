@@ -14,12 +14,21 @@ verifies through this interface and never mentions HMAC or RSA directly:
 Signatures are produced over canonical encodings; callers pass the bytes.
 Each signature is tagged with a scheme byte so a signature made under one
 scheme can never verify under another.
+
+Signing and verifying are the system's compute hot path, so the base
+classes expose an observation point: install a callable with
+:func:`set_signature_observer` (normally via
+:meth:`repro.obs.telemetry.Telemetry.capture_crypto`) and every operation
+reports ``(scheme, op, seconds, ok)``.  With no observer installed the
+cost is a single global load per operation.
 """
 
 from __future__ import annotations
 
+import time as _time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import Callable, Optional
 
 from repro.crypto import mac as _mac
 from repro.crypto import rsa as _rsa
@@ -31,25 +40,69 @@ _SCHEME_HMAC = b"\x01"
 _SCHEME_RSA = b"\x02"
 _SCHEME_SCHNORR = b"\x03"
 
+#: Observer of signature operations: (scheme, op, seconds, ok) -> None.
+#: Process-wide because signers are frozen value objects with no deployment
+#: back-pointer; the telemetry facade installs and releases it.
+SignatureObserver = Callable[[str, str, float, bool], None]
+
+_observer: Optional[SignatureObserver] = None
+
+
+def set_signature_observer(
+    observer: Optional[SignatureObserver],
+) -> Optional[SignatureObserver]:
+    """Install (or with ``None``, remove) the observer; returns the previous."""
+    global _observer
+    previous = _observer
+    _observer = observer
+    return previous
+
 
 class Verifier(ABC):
     """Anything able to check a signature."""
 
+    #: Scheme tag reported to the signature observer.
+    scheme = "unknown"
+
     @abstractmethod
-    def verify(self, message: bytes, signature: bytes) -> None:
-        """Raise :class:`SignatureError` unless ``signature`` is valid."""
+    def _verify(self, message: bytes, signature: bytes) -> None:
+        """Scheme-specific verification; raise :class:`SignatureError`."""
 
     @abstractmethod
     def key_id(self) -> bytes:
         """Stable identifier of the verification key."""
+
+    def verify(self, message: bytes, signature: bytes) -> None:
+        """Raise :class:`SignatureError` unless ``signature`` is valid."""
+        if _observer is None:
+            self._verify(message, signature)
+            return
+        start = _time.perf_counter()
+        try:
+            self._verify(message, signature)
+        except SignatureError:
+            _observer(
+                self.scheme, "verify", _time.perf_counter() - start, False
+            )
+            raise
+        _observer(self.scheme, "verify", _time.perf_counter() - start, True)
 
 
 class Signer(Verifier):
     """Anything able to create (and therefore also check) a signature."""
 
     @abstractmethod
+    def _sign(self, message: bytes) -> bytes:
+        """Scheme-specific signature creation."""
+
     def sign(self, message: bytes) -> bytes:
         """Produce a signature over ``message``."""
+        if _observer is None:
+            return self._sign(message)
+        start = _time.perf_counter()
+        signature = self._sign(message)
+        _observer(self.scheme, "sign", _time.perf_counter() - start, True)
+        return signature
 
 
 @dataclass(frozen=True)
@@ -57,11 +110,12 @@ class HmacSigner(Signer):
     """Conventional-cryptography signer (shared-key integrity seal)."""
 
     key: SymmetricKey
+    scheme = "hmac"
 
-    def sign(self, message: bytes) -> bytes:
+    def _sign(self, message: bytes) -> bytes:
         return _SCHEME_HMAC + _mac.tag(self.key.secret, message)
 
-    def verify(self, message: bytes, signature: bytes) -> None:
+    def _verify(self, message: bytes, signature: bytes) -> None:
         if not signature.startswith(_SCHEME_HMAC):
             raise SignatureError("not an HMAC signature")
         _mac.verify(self.key.secret, message, signature[1:])
@@ -75,8 +129,9 @@ class RsaVerifier(Verifier):
     """Public-key verifier; holds only the public half."""
 
     public: _rsa.RsaPublicKey
+    scheme = "rsa"
 
-    def verify(self, message: bytes, signature: bytes) -> None:
+    def _verify(self, message: bytes, signature: bytes) -> None:
         if not signature.startswith(_SCHEME_RSA):
             raise SignatureError("not an RSA signature")
         _rsa.verify(self.public, message, signature[1:])
@@ -95,7 +150,7 @@ class RsaSigner(RsaVerifier, Signer):
         object.__setattr__(self, "keypair", keypair)
         object.__setattr__(self, "public", keypair.public)
 
-    def sign(self, message: bytes) -> bytes:
+    def _sign(self, message: bytes) -> bytes:
         return _SCHEME_RSA + _rsa.sign(self.keypair.require_private(), message)
 
     def verifier(self) -> RsaVerifier:
@@ -108,8 +163,9 @@ class SchnorrVerifier(Verifier):
     """Public-key verifier for Schnorr signatures (cheap per-proxy keys)."""
 
     public: _schnorr.SchnorrPublicKey
+    scheme = "schnorr"
 
-    def verify(self, message: bytes, signature: bytes) -> None:
+    def _verify(self, message: bytes, signature: bytes) -> None:
         if not signature.startswith(_SCHEME_SCHNORR):
             raise SignatureError("not a Schnorr signature")
         _schnorr.verify(self.public, message, signature[1:])
@@ -128,7 +184,7 @@ class SchnorrSigner(SchnorrVerifier, Signer):
         object.__setattr__(self, "private", private)
         object.__setattr__(self, "public", private.public)
 
-    def sign(self, message: bytes) -> bytes:
+    def _sign(self, message: bytes) -> bytes:
         return _SCHEME_SCHNORR + _schnorr.sign(self.private, message)
 
     def verifier(self) -> SchnorrVerifier:

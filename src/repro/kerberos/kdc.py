@@ -115,6 +115,14 @@ class KeyDistributionCenter(Service):
         #: TGS) are accepted by our TGS exchange.
         self._cross_keys: Dict[PrincipalId, SymmetricKey] = {}
 
+    def _count_issued(self, exchange: str) -> None:
+        self.telemetry.inc(
+            "kdc_tickets_issued_total",
+            help="Tickets issued by the KDC, by exchange kind.",
+            realm=self.realm,
+            exchange=exchange,
+        )
+
     # ------------------------------------------------------------------
     # AS exchange
     # ------------------------------------------------------------------
@@ -158,6 +166,7 @@ class KeyDistributionCenter(Service):
             associated_data=_AS_REPLY_AD,
             rng=self._rng,
         )
+        self._count_issued("as")
         return {"ticket": ticket.to_wire(), "enc_part": enc_part}
 
     # ------------------------------------------------------------------
@@ -232,6 +241,7 @@ class KeyDistributionCenter(Service):
             associated_data=_TGS_REPLY_AD,
             rng=self._rng,
         )
+        self._count_issued("tgs")
         return {"ticket": ticket.to_wire(), "enc_part": enc_part}
 
     # ------------------------------------------------------------------
@@ -267,6 +277,7 @@ class KeyDistributionCenter(Service):
             crypto=crypto,
             clock=self.clock,
             max_skew=self.max_skew,
+            telemetry=self.telemetry,
         )
         grantee = PrincipalId.from_wire(payload["grantee"])
         verified = verifier.verify(
@@ -322,6 +333,7 @@ class KeyDistributionCenter(Service):
             associated_data=_TGS_REPLY_AD,
             rng=self._rng,
         )
+        self._count_issued("tgs-proxy")
         return {"ticket": ticket.to_wire(), "enc_part": enc_part}
 
 

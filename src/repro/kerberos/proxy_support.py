@@ -27,7 +27,7 @@ from dataclasses import dataclass, field, replace as _dc_replace
 from typing import Optional, Tuple
 
 from repro.clock import Clock
-from repro.core.evaluation import RequestContext
+from repro.core.evaluation import RequestContext, evaluate
 from repro.core.presentation import PresentedProxy, present
 from repro.core.proxy import Proxy, delegate_cascade, grant_conventional
 from repro.core.restrictions import Restriction, check_all
@@ -202,13 +202,18 @@ class KerberosProxyAcceptor:
         server_key: SymmetricKey,
         clock: Clock,
         max_skew: float = 60.0,
+        telemetry=None,
     ) -> None:
         self.server = server
         self._server_key = server_key
         self.clock = clock
         self._crypto = SharedKeyCrypto()
         self.verifier = ProxyVerifier(
-            server=server, crypto=self._crypto, clock=clock, max_skew=max_skew
+            server=server,
+            crypto=self._crypto,
+            clock=clock,
+            max_skew=max_skew,
+            telemetry=telemetry,
         )
 
     def accept(
@@ -271,5 +276,9 @@ class KerberosProxyAcceptor:
                 exercisers=frozenset({root.client}),
                 link_expires_at=root.expires_at,
             )
-            check_all(root.authorization_data, link_context)
+            evaluate(
+                root.authorization_data,
+                link_context,
+                self.verifier.telemetry,
+            )
         return verified

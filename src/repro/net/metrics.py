@@ -9,15 +9,29 @@ snapshot/delta API lets a harness bracket exactly one protocol run::
     ... run protocol ...
     delta = network.metrics.delta_since(before)
     assert delta.messages == 3           # Fig. 3: messages 1-3
+
+Drops are attributed: a fault-injection run can report not just *how many*
+requests were lost but *which* (source, destination) pairs and message
+types they were, which is what makes failure-path experiments explainable.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.encoding.identifiers import PrincipalId
+
+
+def _dict_delta(earlier: Dict, later: Dict) -> Dict:
+    """later - earlier per key, keeping only nonzero entries."""
+    return {
+        k: v - earlier.get(k, 0)
+        for k, v in later.items()
+        if v - earlier.get(k, 0)
+    }
 
 
 @dataclass(frozen=True)
@@ -29,23 +43,37 @@ class MetricsSnapshot:
     by_type: Dict[str, int]
     by_pair: Dict[Tuple[str, str], int]
     dropped: int
+    dropped_by_type: Dict[str, int] = field(default_factory=dict)
+    dropped_by_pair: Dict[Tuple[str, str], int] = field(default_factory=dict)
 
-    def delta(self, later: "MetricsSnapshot") -> "MetricsSnapshot":
+    def delta_to(self, later: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Counters accumulated between ``self`` (earlier) and ``later``.
+
+        Reads in chronological order: ``before.delta_to(after)``.
+        """
         return MetricsSnapshot(
             messages=later.messages - self.messages,
             bytes=later.bytes - self.bytes,
-            by_type={
-                k: v - self.by_type.get(k, 0)
-                for k, v in later.by_type.items()
-                if v - self.by_type.get(k, 0)
-            },
-            by_pair={
-                k: v - self.by_pair.get(k, 0)
-                for k, v in later.by_pair.items()
-                if v - self.by_pair.get(k, 0)
-            },
+            by_type=_dict_delta(self.by_type, later.by_type),
+            by_pair=_dict_delta(self.by_pair, later.by_pair),
             dropped=later.dropped - self.dropped,
+            dropped_by_type=_dict_delta(
+                self.dropped_by_type, later.dropped_by_type
+            ),
+            dropped_by_pair=_dict_delta(
+                self.dropped_by_pair, later.dropped_by_pair
+            ),
         )
+
+    def delta(self, later: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Deprecated alias of :meth:`delta_to` (the name read backwards)."""
+        warnings.warn(
+            "MetricsSnapshot.delta is deprecated; use delta_to "
+            "(identical semantics, unambiguous direction)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.delta_to(later)
 
     def messages_to(self, destination: PrincipalId) -> int:
         """Messages delivered to one principal (e.g. 'how often was the
@@ -54,6 +82,12 @@ class MetricsSnapshot:
         return sum(
             count for (_, dst), count in self.by_pair.items() if dst == dest
         )
+
+    def drops_between(
+        self, source: PrincipalId, destination: PrincipalId
+    ) -> int:
+        """Requests from ``source`` to ``destination`` eaten by faults."""
+        return self.dropped_by_pair.get((str(source), str(destination)), 0)
 
 
 class NetworkMetrics:
@@ -65,6 +99,8 @@ class NetworkMetrics:
         self.dropped = 0
         self.by_type: Counter = Counter()
         self.by_pair: Counter = Counter()
+        self.dropped_by_type: Counter = Counter()
+        self.dropped_by_pair: Counter = Counter()
 
     def record(self, source: str, destination: str, msg_type: str, size: int) -> None:
         self.messages += 1
@@ -72,8 +108,18 @@ class NetworkMetrics:
         self.by_type[msg_type] += 1
         self.by_pair[(source, destination)] += 1
 
-    def record_drop(self) -> None:
+    def record_drop(
+        self,
+        source: Optional[str] = None,
+        destination: Optional[str] = None,
+        msg_type: Optional[str] = None,
+    ) -> None:
+        """Count a dropped request, attributed when the caller knows to whom."""
         self.dropped += 1
+        if msg_type is not None:
+            self.dropped_by_type[msg_type] += 1
+        if source is not None and destination is not None:
+            self.dropped_by_pair[(source, destination)] += 1
 
     def snapshot(self) -> MetricsSnapshot:
         return MetricsSnapshot(
@@ -82,10 +128,12 @@ class NetworkMetrics:
             by_type=dict(self.by_type),
             by_pair=dict(self.by_pair),
             dropped=self.dropped,
+            dropped_by_type=dict(self.dropped_by_type),
+            dropped_by_pair=dict(self.dropped_by_pair),
         )
 
     def delta_since(self, before: MetricsSnapshot) -> MetricsSnapshot:
-        return before.delta(self.snapshot())
+        return before.delta_to(self.snapshot())
 
     def reset(self) -> None:
         self.messages = 0
@@ -93,3 +141,5 @@ class NetworkMetrics:
         self.dropped = 0
         self.by_type.clear()
         self.by_pair.clear()
+        self.dropped_by_type.clear()
+        self.dropped_by_pair.clear()

@@ -12,7 +12,11 @@ A synchronous, deterministic message-passing fabric:
 * **Taps** observe every message (the eavesdropper attacker of §3.1 is a
   tap), seeing exactly the bytes a wire would carry.
 * **Fault injection** can drop requests by destination or probability, for
-  failure-path tests.
+  failure-path tests.  Drops are attributed per (source, destination) pair
+  and per message type.
+* **Telemetry** (optional): every ``send`` opens a ``net.send`` span and
+  feeds the ``network_messages_total`` / ``network_bytes_total`` counters.
+  The default is the no-op telemetry, which changes nothing.
 
 All randomness (latency jitter, drops) comes from the injected
 :class:`~repro.crypto.rng.Rng`, so a seeded run is fully reproducible.
@@ -29,6 +33,7 @@ from repro.encoding.identifiers import PrincipalId
 from repro.errors import MessageDroppedError, UnknownEndpointError
 from repro.net.message import Message
 from repro.net.metrics import NetworkMetrics
+from repro.obs.telemetry import NO_TELEMETRY, Telemetry
 
 Handler = Callable[[Message], dict]
 Tap = Callable[[Message], None]
@@ -55,11 +60,13 @@ class Network:
         clock: Clock,
         latency: Optional[LatencyModel] = None,
         rng: Optional[Rng] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.clock = clock
         self.latency = latency or LatencyModel()
         self.rng = rng or DEFAULT_RNG
         self.metrics = NetworkMetrics()
+        self.telemetry = telemetry if telemetry is not None else NO_TELEMETRY
         self._endpoints: Dict[PrincipalId, Handler] = {}
         self._taps: List[Tap] = []
         self._drop_probability = 0.0
@@ -105,15 +112,47 @@ class Network:
         if isinstance(self.clock, SimulatedClock):
             self.clock.advance(self.latency.sample(self.rng))
 
-    def _observe(self, message: Message) -> None:
+    def _observe(self, message: Message) -> int:
+        """Meter one wire message; returns its wire size."""
+        size = message.wire_size()
         self.metrics.record(
             str(message.source),
             str(message.destination),
             message.msg_type,
-            message.wire_size(),
+            size,
         )
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.inc(
+                "network_messages_total",
+                help="Wire messages carried, by message type.",
+                msg_type=message.msg_type,
+            )
+            telemetry.inc(
+                "network_bytes_total",
+                size,
+                help="Wire bytes carried, by message type.",
+                msg_type=message.msg_type,
+            )
         for tap in self._taps:
             tap(message)
+        return size
+
+    def _drop(self, message: Message, reason: str, span, detail: str) -> None:
+        """Record an attributed drop (metrics + telemetry), then raise."""
+        self.metrics.record_drop(
+            str(message.source), str(message.destination), message.msg_type
+        )
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.inc(
+                "network_dropped_total",
+                help="Requests eaten by fault injection, by reason and type.",
+                reason=reason,
+                msg_type=message.msg_type,
+            )
+        span.set(dropped=True, drop_reason=reason)
+        raise MessageDroppedError(detail)
 
     def send(
         self,
@@ -134,21 +173,37 @@ class Network:
             msg_type=msg_type,
             payload=payload,
         )
-        self._observe(message)
-        if destination in self._blackholes:
-            self.metrics.record_drop()
-            raise MessageDroppedError(f"{destination} is partitioned away")
-        if self._drop_probability > 0.0:
-            draw = self.rng.int_below(1_000_000) / 1_000_000.0
-            if draw < self._drop_probability:
-                self.metrics.record_drop()
-                raise MessageDroppedError("message dropped by fault injector")
-        handler = self._endpoints.get(destination)
-        if handler is None:
-            raise UnknownEndpointError(f"no endpoint for {destination}")
-        self._advance()
-        response_payload = handler(message)
-        response = message.reply(response_payload)
-        self._observe(response)
-        self._advance()
-        return response.payload
+        with self.telemetry.span(
+            "net.send",
+            source=str(source),
+            destination=str(destination),
+            msg_type=msg_type,
+        ) as span:
+            request_size = self._observe(message)
+            span.set(request_bytes=request_size)
+            if destination in self._blackholes:
+                self._drop(
+                    message,
+                    "blackhole",
+                    span,
+                    f"{destination} is partitioned away",
+                )
+            if self._drop_probability > 0.0:
+                draw = self.rng.int_below(1_000_000) / 1_000_000.0
+                if draw < self._drop_probability:
+                    self._drop(
+                        message,
+                        "random",
+                        span,
+                        "message dropped by fault injector",
+                    )
+            handler = self._endpoints.get(destination)
+            if handler is None:
+                raise UnknownEndpointError(f"no endpoint for {destination}")
+            self._advance()
+            response_payload = handler(message)
+            response = message.reply(response_payload)
+            response_size = self._observe(response)
+            self._advance()
+            span.set(response_bytes=response_size, messages=2)
+            return response.payload

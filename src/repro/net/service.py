@@ -10,26 +10,49 @@ exception vocabulary of :mod:`repro.errors`.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.clock import Clock
 from repro.encoding.identifiers import PrincipalId
 from repro.errors import ReproError, ServiceError
 from repro.net.message import Message, encode_error, raise_if_error
 from repro.net.network import Network
+from repro.obs.telemetry import Telemetry
 
 
 class Service:
-    """A principal with a message handler on the simulated network."""
+    """A principal with a message handler on the simulated network.
+
+    ``telemetry`` defaults to the network's, so wiring a
+    :class:`~repro.obs.telemetry.Telemetry` into the fabric instruments
+    every service built on it; pass one explicitly to override.
+    """
 
     def __init__(
-        self, principal: PrincipalId, network: Network, clock: Clock
+        self,
+        principal: PrincipalId,
+        network: Network,
+        clock: Clock,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.principal = principal
         self.network = network
         self.clock = clock
+        self.telemetry = (
+            telemetry if telemetry is not None else network.telemetry
+        )
         network.register(principal, self.handle)
 
     def handle(self, message: Message) -> dict:
         """Dispatch to ``op_<msg_type>``; map library errors to payloads."""
+        with self.telemetry.span(
+            "rpc.handle",
+            service=str(self.principal),
+            msg_type=message.msg_type,
+        ) as span:
+            return self._dispatch(message, span)
+
+    def _dispatch(self, message: Message, span) -> dict:
         method_name = "op_" + message.msg_type.replace("-", "_")
         method = getattr(self, method_name, None)
         if method is None:
@@ -41,10 +64,14 @@ class Service:
         try:
             return method(message)
         except ReproError as exc:
+            # Transported to the client as an error payload; mark the span
+            # so error replies are visible in traces without parsing bodies.
+            span.set(error_reply=f"{type(exc).__name__}: {exc}")
             return encode_error(exc)
         except (KeyError, TypeError, ValueError, AttributeError) as exc:
             # Malformed payloads must produce an error reply, not crash
             # the dispatch loop: everything that arrives is untrusted.
+            span.set(error_reply=f"malformed: {type(exc).__name__}: {exc}")
             return encode_error(
                 ServiceError(
                     f"malformed {message.msg_type!r} request: "

@@ -1,0 +1,54 @@
+"""Observability: span tracing, metrics, and exportable telemetry.
+
+Everything the reproduction claims is a claim about *protocol shape* —
+message counts, hops, who verified what, online vs. offline — and
+everything the ROADMAP wants to optimize is a claim about *where time
+goes*.  This package instruments both:
+
+* :mod:`repro.obs.trace` — span-based tracing with parent/child links, so
+  one protocol run renders as a single tree;
+* :mod:`repro.obs.metrics` — counters, gauges, and fixed-bucket histograms;
+* :mod:`repro.obs.telemetry` — the :class:`Telemetry` facade threaded
+  through the network, services, KDC, and verifier (default
+  :data:`NO_TELEMETRY`, a strict no-op);
+* :mod:`repro.obs.export` — JSON-lines traces, Prometheus text exposition,
+  and human-readable trace/figure renderers;
+* :mod:`repro.obs.figures` — runnable paper-figure protocols for
+  ``python -m repro trace <figure>``.
+"""
+
+from repro.obs.export import (
+    prometheus_text,
+    render_message_trace,
+    render_span_tree,
+    spans_to_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    SIZE_BUCKETS,
+)
+from repro.obs.telemetry import NO_TELEMETRY, NullTelemetry, Telemetry
+from repro.obs.trace import Span, SpanEvent, Tracer
+
+__all__ = [
+    "Telemetry",
+    "NullTelemetry",
+    "NO_TELEMETRY",
+    "Tracer",
+    "Span",
+    "SpanEvent",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "SIZE_BUCKETS",
+    "spans_to_jsonl",
+    "render_span_tree",
+    "render_message_trace",
+    "prometheus_text",
+]

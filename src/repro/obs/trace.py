@@ -1,0 +1,222 @@
+"""Span-based protocol tracing.
+
+One protocol run — a Fig. 3 authorization, a Fig. 4 cascade, a Fig. 5
+check-clearing — is a tree of nested activities: a client call opens a
+network send, which opens a service dispatch, which may verify a proxy
+chain, which may recursively call other servers.  A :class:`Span` records
+one such activity with simulated-clock start/end times, free-form
+attributes (principal ids, message types, restriction outcomes), and point
+:class:`SpanEvent`\\ s; parent/child links make the whole run render as a
+single tree.
+
+The simulator is synchronous and single-threaded, so the active-span stack
+*is* the call stack — no context propagation machinery is needed.  Spans
+are grouped into protocol **runs** (:meth:`Tracer.run`): every span started
+inside the run carries its id, which is how audit records, metrics deltas,
+and trace trees are correlated.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """A point-in-time annotation on a span (e.g. an audit record)."""
+
+    time: float
+    name: str
+    attributes: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "time": self.time,
+            "name": self.name,
+            "attributes": dict(self.attributes),
+        }
+
+
+class Span:
+    """One timed activity in a protocol run."""
+
+    __slots__ = (
+        "span_id",
+        "parent_id",
+        "run_id",
+        "name",
+        "start",
+        "end",
+        "attributes",
+        "events",
+        "status",
+    )
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: Optional[int],
+        run_id: Optional[str],
+        name: str,
+        start: float,
+        attributes: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.run_id = run_id
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        self.attributes: Dict[str, object] = dict(attributes or {})
+        self.events: List[SpanEvent] = []
+        self.status = "ok"
+
+    def set(self, **attributes: object) -> None:
+        """Attach (or overwrite) attributes on this span."""
+        self.attributes.update(attributes)
+
+    def add_event(
+        self, time: float, name: str, **attributes: object
+    ) -> SpanEvent:
+        event = SpanEvent(time=time, name=name, attributes=dict(attributes))
+        self.events.append(event)
+        return event
+
+    @property
+    def duration(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "run_id": self.run_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "status": self.status,
+            "attributes": {k: _plain(v) for k, v in self.attributes.items()},
+            "events": [e.to_dict() for e in self.events],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Span(id={self.span_id}, name={self.name!r}, "
+            f"parent={self.parent_id}, status={self.status})"
+        )
+
+
+def _plain(value: object) -> object:
+    """Coerce attribute values to JSON-friendly plain types."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, bytes):
+        return value.hex()
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    return str(value)
+
+
+class Tracer:
+    """Collects spans; owns the active-span stack and run ids.
+
+    Args:
+        now: time source for span timestamps.  Inject the simulated clock's
+            ``now`` so trace timing is a consequence of message count and
+            the latency model, exactly like protocol latency itself.
+    """
+
+    def __init__(self, now: Callable[[], float]) -> None:
+        self._now = now
+        self.spans: List[Span] = []
+        self.orphan_events: List[SpanEvent] = []
+        self._stack: List[Span] = []
+        self._next_id = 1
+        self._run_counter = 0
+        self._run_id: Optional[str] = None
+
+    # -- recording -----------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attributes: object) -> Iterator[Span]:
+        """Open a child span of whatever span is currently active."""
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent is not None else None,
+            run_id=self._run_id,
+            name=name,
+            start=self._now(),
+            attributes=attributes,
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        self._stack.append(span)
+        try:
+            yield span
+        except BaseException as exc:
+            span.status = "error"
+            span.attributes.setdefault(
+                "error", f"{type(exc).__name__}: {exc}"
+            )
+            raise
+        finally:
+            span.end = self._now()
+            self._stack.pop()
+
+    @contextmanager
+    def run(self, label: str) -> Iterator[Span]:
+        """Group everything inside as one protocol run (a root span)."""
+        self._run_counter += 1
+        run_id = f"run-{self._run_counter}:{label}"
+        previous = self._run_id
+        self._run_id = run_id
+        try:
+            with self.span(f"run:{label}", run=run_id) as span:
+                yield span
+        finally:
+            self._run_id = previous
+
+    def event(self, name: str, **attributes: object) -> SpanEvent:
+        """Record a point event on the current span (or as an orphan)."""
+        if self._stack:
+            return self._stack[-1].add_event(self._now(), name, **attributes)
+        event = SpanEvent(
+            time=self._now(), name=name, attributes=dict(attributes)
+        )
+        self.orphan_events.append(event)
+        return event
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def current_span(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def current_run_id(self) -> Optional[str]:
+        return self._run_id
+
+    def finished_spans(self) -> List[Span]:
+        return [s for s in self.spans if s.end is not None]
+
+    def roots(self) -> List[Span]:
+        return [s for s in self.spans if s.parent_id is None]
+
+    def children_of(self, span: Span) -> List[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def spans_in_run(self, run_id: str) -> List[Span]:
+        return [s for s in self.spans if s.run_id == run_id]
+
+    def find(self, name: str) -> List[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def clear(self) -> None:
+        """Drop recorded spans (open spans on the stack are kept)."""
+        self.spans = [s for s in self.spans if s.end is None]
+        self.orphan_events.clear()

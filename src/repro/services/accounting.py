@@ -354,6 +354,18 @@ class AccountingServer(EndServer):
         else:
             raise CheckError(f"no account {credit_name!r} to credit")
         destination.credit(currency, amount)
+        self.telemetry.inc(
+            "checks_cleared_total",
+            help="Checks cleared at the payor's server, by funding path.",
+            server=str(self.principal),
+            funding="certified-hold" if hold is not None else "balance",
+        )
+        self.telemetry.inc(
+            "check_amount_cleared_total",
+            amount,
+            help="Total value cleared, by currency.",
+            currency=currency,
+        )
         return {
             "paid": amount,
             "currency": currency,
@@ -454,6 +466,11 @@ class AccountingServer(EndServer):
             float(request.args["expires_at"]),
         )
         payee_account.credit(currency, int(result["paid"]))
+        self.telemetry.inc(
+            "checks_deposited_total",
+            help="Cross-server deposits accepted for collection (Fig. 5 E1).",
+            server=str(self.principal),
+        )
         return {
             "cleared": True,
             "paid": result["paid"],

@@ -196,6 +196,12 @@ class AuthorizationServer(EndServer):
             issued_at=now,
             expires_at=now + self.default_lifetime,
         )
+        self.telemetry.inc(
+            "authorization_proxies_issued_total",
+            help="Proxies issued by authorization servers (Fig. 3 message 2).",
+            server=str(self.principal),
+            end_server=str(end_server),
+        )
         return {
             "sealed_proxy": seal_proxy_delivery(kproxy, request.session_key)
         }

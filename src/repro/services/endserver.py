@@ -30,8 +30,8 @@ from typing import Callable, Dict, FrozenSet, Optional, Tuple
 from repro.acl import AccessControlList
 from repro.audit import AuditLog
 from repro.clock import Clock
-from repro.core.evaluation import RequestContext
-from repro.core.restrictions import GroupMembership, check_all
+from repro.core.evaluation import RequestContext, evaluate
+from repro.core.restrictions import GroupMembership
 from repro.core.verification import VerifiedProxy
 from repro.crypto.keys import SymmetricKey
 from repro.crypto.rng import DEFAULT_RNG, Rng
@@ -99,19 +99,26 @@ class EndServer(Service):
         acl: Optional[AccessControlList] = None,
         max_skew: float = 60.0,
         rng: Optional[Rng] = None,
+        telemetry=None,
     ) -> None:
-        super().__init__(principal, network, clock)
+        super().__init__(principal, network, clock, telemetry=telemetry)
         self.acl = acl if acl is not None else AccessControlList()
         self._rng = rng or DEFAULT_RNG
         self.ap = ApAcceptor(principal, secret_key, clock, max_skew=max_skew)
         self.acceptor = KerberosProxyAcceptor(
-            principal, secret_key, clock, max_skew=max_skew
+            principal,
+            secret_key,
+            clock,
+            max_skew=max_skew,
+            telemetry=self.telemetry,
         )
         self.sessions: Dict[bytes, Session] = {}
         self._operations: Dict[str, Handler] = {}
         #: Every proxy-authorized request is recorded here (§3.4: delegate
-        #: chains leave an audit trail; this is where it lands).
-        self.audit = AuditLog()
+        #: chains leave an audit trail; this is where it lands).  The audit
+        #: log shares the server's telemetry so each record also lands as a
+        #: span event, correlating audit trails with traces by run id.
+        self.audit = AuditLog(telemetry=self.telemetry)
         #: Outstanding server-issued challenges for challenge-based
         #: possession proofs (§2: "a signed or encrypted timestamp or
         #: server challenge").
@@ -267,7 +274,7 @@ class EndServer(Service):
         # Session (ticket + authenticator) restrictions bind every request
         # made in the session (§6.2).
         if session is not None and session.restrictions:
-            check_all(
+            evaluate(
                 session.restrictions,
                 RequestContext(
                     server=self.principal,
@@ -282,6 +289,7 @@ class EndServer(Service):
                     replay_registry=self.acceptor.verifier.accept_once,
                     link_expires_at=session.expires_at,
                 ),
+                self.telemetry,
             )
 
         principals = frozenset(
@@ -289,7 +297,7 @@ class EndServer(Service):
         )
         entry = self.acl.authorize(principals, groups, operation, target)
         if entry.restrictions:
-            check_all(
+            evaluate(
                 entry.restrictions,
                 RequestContext(
                     server=self.principal,
@@ -303,6 +311,7 @@ class EndServer(Service):
                     exercisers=principals,
                     replay_registry=self.acceptor.verifier.accept_once,
                 ),
+                self.telemetry,
             )
 
         handler = self._operations.get(operation)
@@ -310,6 +319,13 @@ class EndServer(Service):
             raise ServiceError(
                 f"{self.principal} has no operation {operation!r}"
             )
+        self.telemetry.inc(
+            "endserver_requests_total",
+            help="Authorized application requests, by operation and path.",
+            service=str(self.principal),
+            operation=operation,
+            path="proxy" if verified is not None else "session",
+        )
         request = AuthorizedRequest(
             operation=operation,
             target=target,

@@ -70,7 +70,14 @@ class FileServer(EndServer):
         path = self._require_target(request)
         if path not in self.files:
             raise ServiceError(f"no such file: {path}")
-        return {"data": self.files[path]}
+        data = self.files[path]
+        self.telemetry.inc(
+            "fileserver_bytes_read_total",
+            len(data),
+            help="Bytes served by file-server reads.",
+            server=str(self.principal),
+        )
+        return {"data": data}
 
     def _op_write(self, request: AuthorizedRequest) -> dict:
         path = self._require_target(request)
@@ -83,6 +90,12 @@ class FileServer(EndServer):
                 f"declared {declared} {BYTES} but wrote {len(data)}"
             )
         self.files[path] = data
+        self.telemetry.inc(
+            "fileserver_bytes_written_total",
+            len(data),
+            help="Bytes accepted by file-server writes.",
+            server=str(self.principal),
+        )
         return {"written": len(data)}
 
     def _op_delete(self, request: AuthorizedRequest) -> dict:

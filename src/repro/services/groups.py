@@ -155,6 +155,12 @@ class GroupServer(EndServer):
             issued_at=now,
             expires_at=now + self.default_lifetime,
         )
+        self.telemetry.inc(
+            "group_proxies_issued_total",
+            help="Membership-assertion proxies issued (§3.3).",
+            server=str(self.principal),
+            group=name,
+        )
         return {
             "sealed_proxy": seal_proxy_delivery(kproxy, request.session_key)
         }

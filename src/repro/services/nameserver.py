@@ -26,9 +26,13 @@ class NameServer(Service):
     """Directory of per-server authorization requirements and keys."""
 
     def __init__(
-        self, principal: PrincipalId, network: Network, clock: Clock
+        self,
+        principal: PrincipalId,
+        network: Network,
+        clock: Clock,
+        telemetry=None,
     ) -> None:
-        super().__init__(principal, network, clock)
+        super().__init__(principal, network, clock, telemetry=telemetry)
         self._records: Dict[PrincipalId, dict] = {}
 
     def publish(
@@ -55,6 +59,11 @@ class NameServer(Service):
         """Message 0: what does this end-server require?"""
         server = PrincipalId.from_wire(message.payload["server"])
         record = self._records.get(server)
+        self.telemetry.inc(
+            "nameserver_lookups_total",
+            help="Directory lookups (Fig. 3 message 0), by outcome.",
+            outcome="hit" if record is not None else "miss",
+        )
         if record is None:
             raise ServiceError(f"no directory record for {server}")
         return dict(record)

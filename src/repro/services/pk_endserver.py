@@ -29,7 +29,7 @@ from typing import Callable, Dict, FrozenSet, Optional, Tuple
 from repro.acl import AccessControlList
 from repro.audit import AuditLog
 from repro.clock import Clock
-from repro.core.evaluation import RequestContext
+from repro.core.evaluation import RequestContext, evaluate
 from repro.core.presentation import (
     PresentedProxy,
     present,
@@ -37,7 +37,6 @@ from repro.core.presentation import (
 )
 from repro.core.proxy import Proxy
 from repro.core.replay import AuthenticatorCache
-from repro.core.restrictions import check_all
 from repro.core.verification import (
     ProxyVerifier,
     PublicKeyCrypto,
@@ -180,8 +179,9 @@ class PkEndServer(Service):
         group: DhGroup = DEFAULT_GROUP,
         max_skew: float = 60.0,
         rng: Optional[Rng] = None,
+        telemetry=None,
     ) -> None:
-        super().__init__(principal, network, clock)
+        super().__init__(principal, network, clock, telemetry=telemetry)
         self.directory = directory
         self.acl = acl if acl is not None else AccessControlList()
         self._rng = rng or DEFAULT_RNG
@@ -192,12 +192,13 @@ class PkEndServer(Service):
             crypto=_DirectoryCrypto(directory, own_schnorr=self.identity),
             clock=clock,
             max_skew=max_skew,
+            telemetry=self.telemetry,
         )
         self._envelope_replay = AuthenticatorCache(
             clock, window=self.verifier.freshness_window
         )
         self._operations: Dict[str, Callable] = {}
-        self.audit = AuditLog()
+        self.audit = AuditLog(telemetry=self.telemetry)
 
     def register_operation(self, name: str, handler: Callable) -> None:
         self._operations[name] = handler
@@ -276,7 +277,7 @@ class PkEndServer(Service):
                 principals, frozenset(), operation, target
             )
             if entry.restrictions:
-                check_all(
+                evaluate(
                     entry.restrictions,
                     RequestContext(
                         server=self.principal,
@@ -289,6 +290,7 @@ class PkEndServer(Service):
                         exercisers=principals,
                         replay_registry=self.verifier.accept_once,
                     ),
+                    self.telemetry,
                 )
             handler = self._operations.get(operation)
             if handler is None:

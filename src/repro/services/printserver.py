@@ -130,6 +130,12 @@ class PrintServer(EndServer):
             "pages": pages,
         }
         self.jobs.append(job)
+        self.telemetry.inc(
+            "pages_printed_total",
+            pages,
+            help="Pages drawn down against quota allocations (§4).",
+            server=str(self.principal),
+        )
         return {"job_id": len(self.jobs) - 1, "remaining": self.allocations[who]}
 
     def _op_remaining(self, request: AuthorizedRequest) -> dict:

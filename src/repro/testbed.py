@@ -23,6 +23,7 @@ from repro.encoding.identifiers import PrincipalId
 from repro.kerberos.client import KerberosClient
 from repro.kerberos.kdc import KeyDistributionCenter
 from repro.net.network import LatencyModel, Network
+from repro.obs.telemetry import NO_TELEMETRY, Telemetry
 from repro.services.accounting import AccountingClient, AccountingServer
 from repro.services.authorization import (
     AuthorizationClient,
@@ -68,9 +69,13 @@ class Realm:
         real_time: bool = False,
         network: Optional[Network] = None,
         clock: Optional[Clock] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         """Build a realm; pass a shared ``network``/``clock`` to co-locate
-        several realms on one fabric (see :func:`federation`)."""
+        several realms on one fabric (see :func:`federation`).  An optional
+        ``telemetry`` is bound to the realm clock and threaded into the
+        network (and from there into every service); when a shared network
+        is supplied, its telemetry is adopted instead."""
         self.rng = Rng(seed=seed)
         if clock is not None:
             self.clock = clock
@@ -78,9 +83,21 @@ class Realm:
             self.clock = (
                 SystemClock() if real_time else SimulatedClock(start_time)
             )
-        self.network = network or Network(
-            self.clock, latency=latency, rng=self.rng.fork(b"net")
-        )
+        if network is not None:
+            self.network = network
+            self.telemetry = (
+                telemetry if telemetry is not None else network.telemetry
+            )
+        else:
+            self.telemetry = telemetry if telemetry is not None else NO_TELEMETRY
+            self.network = Network(
+                self.clock,
+                latency=latency,
+                rng=self.rng.fork(b"net"),
+                telemetry=self.telemetry,
+            )
+        if self.telemetry:
+            self.telemetry.bind_clock(self.clock)
         self.realm = realm
         self.kdc = KeyDistributionCenter(
             self.network, self.clock, realm=realm, rng=self.rng.fork(b"kdc")
@@ -186,6 +203,7 @@ def federation(
     seed: bytes = b"repro-federation",
     start_time: float = 1_000_000.0,
     latency: Optional[LatencyModel] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> Dict[str, Realm]:
     """Build several realms on one network, with mutual cross-realm trust.
 
@@ -203,7 +221,14 @@ def federation(
 
     root = Rng(seed=seed)
     clock = SimulatedClock(start_time)
-    network = Network(clock, latency=latency, rng=root.fork(b"net"))
+    if telemetry is not None:
+        telemetry.bind_clock(clock)
+    network = Network(
+        clock,
+        latency=latency,
+        rng=root.fork(b"net"),
+        telemetry=telemetry,
+    )
     realms: Dict[str, Realm] = {}
     for name in realm_names:
         realms[name] = Realm(

@@ -309,7 +309,7 @@ class TestMetricsEdgeCases:
         network.send(ALICE, SERVER, "a", {})
         s1 = network.metrics.snapshot()
         network.send(ALICE, SERVER, "b", {})
-        delta01 = s0.delta(s1)
+        delta01 = s0.delta_to(s1)
         delta12 = network.metrics.delta_since(s1)
         assert delta01.messages == 2
         assert delta12.messages == 2

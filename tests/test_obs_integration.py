@@ -1,0 +1,144 @@
+"""End-to-end observability: figure runs, exports, and the no-op default."""
+
+import json
+
+import pytest
+
+from repro.obs import NO_TELEMETRY, Telemetry
+from repro.obs.figures import run_figure
+from repro.testbed import Realm
+
+
+@pytest.fixture
+def fig3():
+    telemetry = Telemetry(capture_crypto=True)
+    try:
+        yield run_figure("fig3", telemetry)
+    finally:
+        telemetry.release_crypto()
+
+
+class TestFig3Trace:
+    def test_one_run_three_steps_three_exchanges(self, fig3):
+        (root,) = fig3.tracer.roots()
+        assert root.name == "run:fig3"
+        steps = fig3.tracer.find("fig.step")
+        assert [s.attributes["step"] for s in steps] == ["0 (dashed)", "1+2", 3]
+        sends = fig3.tracer.find("net.send")
+        assert len(sends) == 3  # messages 0-3, one exchange per arrow
+        assert all(s.run_id == root.run_id for s in steps + sends)
+        # Each figure arrow is a request/response pair.
+        assert all(s.attributes["messages"] == 2 for s in sends)
+
+    def test_span_tree_matches_figure_notation(self, fig3):
+        tree = fig3.render_tree()
+        assert "message 0 (dashed): a-priori knowledge via name server" in tree
+        assert "message 1+2" in tree
+        assert "{Kproxy}Ksession" in tree
+        assert "message 3: present proxy to S" in tree
+        assert "verify.chain @files@REPRO.ORG" in tree
+
+    def test_message_trace_lists_the_three_arrows(self, fig3):
+        lines = fig3.render_message_trace().splitlines()
+        assert len(lines) == 3
+        assert "nameserver@REPRO.ORG : lookup" in lines[0]
+        assert "authz@REPRO.ORG : request" in lines[1]
+        assert "files@REPRO.ORG : request" in lines[2]
+
+    def test_audit_record_rides_the_trace_as_a_span_event(self, fig3):
+        events = [
+            (span, event)
+            for span in fig3.tracer.spans
+            for event in span.events
+            if event.name == "audit.record"
+        ]
+        (span, event) = events[-1]
+        assert span.run_id is not None  # correlated to the protocol run
+        assert event.attributes["server"] == "files@REPRO.ORG"
+        assert event.attributes["operation"] == "read"
+
+    def test_prometheus_export_has_hot_path_metrics(self, fig3):
+        text = fig3.prometheus()
+        assert "# TYPE verify_chain_seconds histogram" in text
+        assert "# TYPE network_messages_total counter" in text
+        assert fig3.metrics.counter("network_messages_total").total() > 0
+        assert fig3.metrics.histogram("verify_chain_seconds").total_count() > 0
+        assert fig3.metrics.counter("proxy_verifications_total").value(
+            outcome="verified"
+        ) > 0
+        assert fig3.metrics.counter("signature_operations_total").total() > 0
+        assert fig3.metrics.counter("kdc_tickets_issued_total").total() > 0
+
+    def test_jsonl_export_parses(self, fig3):
+        records = [
+            json.loads(line) for line in fig3.spans_jsonl().splitlines()
+        ]
+        assert {"net.send", "rpc.handle", "verify.chain"} <= {
+            r["name"] for r in records
+        }
+
+
+class TestOtherFigures:
+    @pytest.mark.parametrize("name", ["fig1", "fig4", "fig5"])
+    def test_every_figure_runs_and_renders(self, name):
+        telemetry = run_figure(name)
+        assert telemetry.tracer.roots()[0].name == f"run:{name}"
+        assert telemetry.render_tree()
+        assert "verify.chain" in telemetry.render_tree()
+
+    def test_fig5_shows_nested_endorsement_hops(self):
+        telemetry = run_figure("fig5")
+        trace = telemetry.render_message_trace()
+        # The E2 forward to the payor's server is a nested (indented) hop.
+        assert "    " in trace.splitlines()[-1]
+        assert "bank-payor@REPRO.ORG" in trace
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ValueError):
+            run_figure("fig99")
+
+
+class TestNoOpDefault:
+    """Seed behavior is unchanged when no telemetry is supplied."""
+
+    def _fig3_message_counts(self, telemetry):
+        from repro.acl import AclEntry, SinglePrincipal
+
+        realm = Realm(seed=b"parity", telemetry=telemetry)
+        fs = realm.file_server("files")
+        fs.put("doc", b"data")
+        authz = realm.authorization_server("authz")
+        fs.acl.add(AclEntry(subject=SinglePrincipal(authz.principal)))
+        user = realm.user("client")
+        authz.database_for(fs.principal).add(
+            AclEntry(
+                subject=SinglePrincipal(user.principal), operations=("read",)
+            )
+        )
+        proxy = user.authorization_client(authz.principal).authorize(
+            fs.principal, ("read",)
+        )
+        user.client_for(fs.principal).request("read", "doc", proxy=proxy)
+        snapshot = realm.network.metrics.snapshot()
+        return snapshot.messages, snapshot.bytes, dict(snapshot.by_type)
+
+    def test_realm_defaults_to_null_telemetry(self):
+        realm = Realm(seed=b"plain")
+        assert realm.network.telemetry is NO_TELEMETRY
+        assert realm.telemetry is NO_TELEMETRY
+
+    def test_message_and_byte_counts_identical_with_and_without(self):
+        bare = self._fig3_message_counts(None)
+        live = self._fig3_message_counts(Telemetry())
+        assert bare == live
+
+    def test_shared_network_telemetry_is_adopted(self):
+        telemetry = Telemetry()
+        realm_a = Realm(seed=b"shared", telemetry=telemetry)
+        realm_b = Realm(
+            seed=b"other",
+            network=realm_a.network,
+            clock=realm_a.clock,
+            realm="OTHER.ORG",
+        )
+        assert realm_b.telemetry is telemetry

@@ -1,0 +1,133 @@
+"""The metrics registry and its Prometheus text exposition."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+)
+from repro.obs.export import prometheus_text
+
+
+class TestCounter:
+    def test_inc_and_value_per_label_set(self):
+        c = Counter("requests_total")
+        c.inc(op="read")
+        c.inc(2, op="read")
+        c.inc(op="write")
+        assert c.value(op="read") == 3
+        assert c.value(op="write") == 1
+        assert c.value(op="delete") == 0
+        assert c.total() == 4
+
+    def test_label_order_is_irrelevant(self):
+        c = Counter("c")
+        c.inc(a="1", b="2")
+        assert c.value(b="2", a="1") == 1
+
+    def test_counters_only_go_up(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_set_overwrites_add_accumulates(self):
+        g = Gauge("sessions")
+        g.set(5, server="s")
+        g.set(3, server="s")
+        assert g.value(server="s") == 3
+        g.add(2, server="s")
+        g.add(-4, server="s")
+        assert g.value(server="s") == 1
+
+
+class TestHistogram:
+    def test_observations_land_in_cumulative_buckets(self):
+        h = Histogram("latency", buckets=(0.01, 0.1, 1.0))
+        h.observe(0.005)
+        h.observe(0.05)
+        h.observe(5.0)  # beyond the last bound: only +Inf
+        ((_, series),) = h.series()
+        # le semantics: each stored count includes everything smaller.
+        assert series.bucket_counts == [1, 2, 2]
+        assert series.count == 3
+        assert series.sum == pytest.approx(5.055)
+
+    def test_per_label_series_are_independent(self):
+        h = Histogram("latency", buckets=(1.0,))
+        h.observe(0.5, scheme="hmac")
+        h.observe(0.5, scheme="rsa")
+        h.observe(0.5, scheme="rsa")
+        assert h.count(scheme="hmac") == 1
+        assert h.count(scheme="rsa") == 2
+        assert h.total_count() == 3
+
+    def test_buckets_must_be_sorted(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 0.5))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+
+class TestRegistry:
+    def test_register_on_first_use_then_refetch(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x", help="first")
+        b = registry.counter("x", help="ignored")
+        assert a is b
+        assert a.help == "first"
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_default_histogram_buckets(self):
+        registry = MetricsRegistry()
+        assert registry.histogram("h").buckets == LATENCY_BUCKETS
+
+
+class TestPrometheusText:
+    def test_counter_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("msgs_total", help="Messages.").inc(
+            3, msg_type="request"
+        )
+        text = prometheus_text(registry)
+        assert "# HELP msgs_total Messages." in text
+        assert "# TYPE msgs_total counter" in text
+        assert 'msgs_total{msg_type="request"} 3' in text
+
+    def test_histogram_exposition_has_buckets_sum_count(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", buckets=(0.1, 1.0))
+        h.observe(0.05, op="verify")
+        h.observe(0.5, op="verify")
+        text = prometheus_text(registry)
+        assert 'lat_bucket{op="verify",le="0.1"} 1' in text
+        assert 'lat_bucket{op="verify",le="1"} 2' in text
+        assert 'lat_bucket{op="verify",le="+Inf"} 2' in text
+        assert 'lat_sum{op="verify"} 0.55' in text
+        assert 'lat_count{op="verify"} 2' in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(who='evil"name\\with\nnewline')
+        text = prometheus_text(registry)
+        assert 'who="evil\\"name\\\\with\\nnewline"' in text
+
+    def test_families_sorted_and_unlabelled_series(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta").inc()
+        registry.gauge("alpha").set(7)
+        text = prometheus_text(registry)
+        assert text.index("alpha") < text.index("zeta")
+        assert "\nalpha 7\n" in text
+        assert "\nzeta 1\n" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry()) == ""
