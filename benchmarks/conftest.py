@@ -22,20 +22,34 @@ _REPORTED = []
 
 
 def report(title: str, rows, columns) -> None:
-    """Print one experiment table (also collected for the session summary)."""
+    """Print one experiment table (also collected for the session summary).
+
+    Rows shorter than the header are padded (and longer ones truncated) so
+    a benchmark that filtered everything out — or emitted a partial row —
+    still renders every column instead of crashing or silently dropping
+    trailing columns in the zip below.
+    """
+    columns = [str(c) for c in columns]
+    padded = [
+        [str(v) for v in list(row)[: len(columns)]]
+        + [""] * max(0, len(columns) - len(row))
+        for row in rows
+    ]
     widths = [
-        max(len(str(column)), *(len(str(row[i])) for row in rows)) if rows else len(str(column))
+        max(len(column), *(len(row[i]) for row in padded))
+        if padded
+        else len(column)
         for i, column in enumerate(columns)
     ]
     lines = [
         "",
         f"--- {title} ---",
-        "  " + " | ".join(str(c).ljust(w) for c, w in zip(columns, widths)),
+        "  " + " | ".join(c.ljust(w) for c, w in zip(columns, widths)),
         "  " + "-+-".join("-" * w for w in widths),
     ]
-    for row in rows:
+    for row in padded:
         lines.append(
-            "  " + " | ".join(str(v).ljust(w) for v, w in zip(row, widths))
+            "  " + " | ".join(v.ljust(w) for v, w in zip(row, widths))
         )
     text = "\n".join(lines)
     _REPORTED.append(text)

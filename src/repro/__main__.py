@@ -110,14 +110,24 @@ def tour() -> None:
     print("see examples/ and EXPERIMENTS.md for the full reproduction.")
 
 
-def trace(figure: str, jsonl: str = "", metrics: bool = True) -> None:
+def trace(
+    figure: str,
+    jsonl: str = "",
+    metrics: bool = True,
+    verify_cache: bool = True,
+) -> None:
     """Replay one figure under telemetry and print every view of it."""
+    from repro.core import vcache
     from repro.obs import Telemetry
     from repro.obs.figures import run_figure
 
+    config = (
+        vcache.DEFAULT_CONFIG if verify_cache else vcache.DISABLED_CONFIG
+    )
     telemetry = Telemetry(capture_crypto=True)
     try:
-        run_figure(figure, telemetry)
+        with vcache.override(config):
+            run_figure(figure, telemetry)
     finally:
         telemetry.release_crypto()
 
@@ -128,6 +138,20 @@ def trace(figure: str, jsonl: str = "", metrics: bool = True) -> None:
     if metrics:
         print(f"\n== {figure}: metrics (Prometheus text format) ==\n")
         print(telemetry.prometheus(), end="")
+        print(f"\n== {figure}: verification cache ==\n")
+        counters = telemetry.metrics
+        sig_hit = counters.counter("vcache.sig.hit").total()
+        sig_miss = counters.counter("vcache.sig.miss").total()
+        chain_hit = counters.counter("vcache.chain.hit").total()
+        chain_miss = counters.counter("vcache.chain.miss").total()
+        evictions = counters.counter("vcache.evictions").total()
+        state = "on" if verify_cache else "off (--no-verify-cache)"
+        print(f"verify cache: {state}")
+        print(f"  signature memo: {sig_hit:.0f} hits, {sig_miss:.0f} misses")
+        print(
+            f"  chain prefixes: {chain_hit:.0f} hits, {chain_miss:.0f} misses"
+        )
+        print(f"  evictions: {evictions:.0f}")
     if jsonl:
         with open(jsonl, "w", encoding="utf-8") as handle:
             handle.write(telemetry.spans_jsonl() + "\n")
@@ -154,9 +178,19 @@ def main(argv=None) -> None:
         action="store_true",
         help="skip the Prometheus metrics section",
     )
+    trace_parser.add_argument(
+        "--no-verify-cache",
+        action="store_true",
+        help="run with the verification fast path disabled",
+    )
     args = parser.parse_args(argv)
     if args.command == "trace":
-        trace(args.figure, jsonl=args.jsonl, metrics=not args.no_metrics)
+        trace(
+            args.figure,
+            jsonl=args.jsonl,
+            metrics=not args.no_metrics,
+            verify_cache=not args.no_verify_cache,
+        )
     else:
         tour()
 

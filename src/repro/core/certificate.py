@@ -32,6 +32,7 @@ Certificate link kinds (``link_kind``):
 
 from __future__ import annotations
 
+import hashlib
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
@@ -50,6 +51,10 @@ from repro.errors import DecodingError, ProxyError
 #: Version string bound into every signature so future format changes can
 #: never be confused with this one.
 _CERT_DOMAIN = "repro-proxy-cert-v1"
+
+#: Domain separator for content digests (cache keys), distinct from the
+#: signature domain so a digest can never be mistaken for signable bytes.
+_DIGEST_DOMAIN = b"repro-cert-digest-v1"
 
 LINK_ROOT = "root"
 LINK_CASCADE = "cascade"
@@ -245,7 +250,14 @@ class ProxyCertificate:
         )
 
     def body_bytes(self) -> bytes:
-        return self.signed_body(
+        # Certificates are frozen, so the canonical signed bytes are
+        # computed once and memoized (encode-once fast path).  Stored via
+        # object.__setattr__ because the dataclass is frozen; the memo
+        # lives in __dict__ and is invisible to dataclass eq/hash.
+        cached = self.__dict__.get("_body")
+        if cached is not None:
+            return cached
+        body = self.signed_body(
             self.grantor,
             self.restrictions,
             self.key_binding,
@@ -254,6 +266,24 @@ class ProxyCertificate:
             self.link_kind,
             self.nonce,
         )
+        object.__setattr__(self, "_body", body)
+        return body
+
+    def digest(self) -> bytes:
+        """Stable content digest over body *and* signature.
+
+        Used as a cache key by the verification fast path: two
+        certificates with the same digest are byte-identical links
+        (canonical encoding is injective).
+        """
+        cached = self.__dict__.get("_digest")
+        if cached is not None:
+            return cached
+        value = hashlib.sha256(
+            _DIGEST_DOMAIN + self.body_bytes() + self.signature
+        ).digest()
+        object.__setattr__(self, "_digest", value)
+        return value
 
     # -- wire -------------------------------------------------------------
 
@@ -283,7 +313,12 @@ class ProxyCertificate:
         )
 
     def to_bytes(self) -> bytes:
-        return encode(self.to_wire())
+        cached = self.__dict__.get("_encoded")
+        if cached is not None:
+            return cached
+        data = encode(self.to_wire())
+        object.__setattr__(self, "_encoded", data)
+        return data
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "ProxyCertificate":
@@ -310,7 +345,7 @@ def build_certificate(
     body = ProxyCertificate.signed_body(
         grantor, restrictions, key_binding, issued_at, expires_at, link_kind, nonce
     )
-    return ProxyCertificate(
+    cert = ProxyCertificate(
         grantor=grantor,
         restrictions=restrictions,
         key_binding=key_binding,
@@ -320,3 +355,6 @@ def build_certificate(
         nonce=nonce,
         signature=signer.sign(body),
     )
+    # Seed the encode-once memo with the bytes we just signed over.
+    object.__setattr__(cert, "_body", body)
+    return cert

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import heapq
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.clock import Clock
 from repro.encoding.identifiers import PrincipalId
@@ -131,11 +131,31 @@ class AcceptOnceRegistry:
 
 
 class AuthenticatorCache:
-    """Suppresses re-presentation of possession proofs within the window."""
+    """Suppresses re-presentation of possession proofs within the window.
 
-    def __init__(self, clock: Clock, window: float = 300.0) -> None:
+    Memory is bounded two ways.  Retention is clamped: an authenticator
+    whose claimed timestamp sits at the far edge of the skew window can
+    never be held past ``now + window + max_skew`` (a fresher claimed
+    timestamp would be rejected as from-the-future by the caller, so
+    nothing legitimately needs to be remembered longer).  On top of the
+    clamp, ``max_entries`` is a hard cap with oldest-expiry-first
+    eviction — an entry evicted early was already unreplayable without
+    also failing the caller's freshness check by the time it mattered.
+    """
+
+    def __init__(
+        self,
+        clock: Clock,
+        window: float = 300.0,
+        max_skew: float = 60.0,
+        max_entries: int = 65536,
+    ) -> None:
+        if max_entries <= 0:
+            raise ValueError("authenticator cache needs a positive capacity")
         self._clock = clock
         self._window = window
+        self._max_skew = max_skew
+        self._max_entries = max_entries
         self._seen: Dict[bytes, float] = {}
         self._expiry_heap: List[Tuple[float, bytes]] = []
 
@@ -143,15 +163,40 @@ class AuthenticatorCache:
     def window(self) -> float:
         return self._window
 
-    def register(self, digest: bytes) -> bool:
-        """Record an authenticator digest.  True iff not seen before."""
+    @property
+    def max_entries(self) -> int:
+        return self._max_entries
+
+    def register(
+        self, digest: bytes, timestamp: Optional[float] = None
+    ) -> bool:
+        """Record an authenticator digest.  True iff not seen before.
+
+        ``timestamp`` is the authenticator's *claimed* creation time; when
+        given, the entry is retained for ``window`` past that claim, but
+        never beyond ``now + window + max_skew`` and never less than until
+        ``now`` (so a replay attempted immediately is always caught).
+        """
         self._expire()
         if digest in self._seen:
             return False
-        expires_at = self._clock.now() + self._window
+        now = self._clock.now()
+        base = now if timestamp is None else float(timestamp)
+        expires_at = max(now, min(base + self._window,
+                                  now + self._window + self._max_skew))
         self._seen[digest] = expires_at
         heapq.heappush(self._expiry_heap, (expires_at, digest))
+        while len(self._seen) > self._max_entries:
+            self._evict_oldest()
         return True
+
+    def _evict_oldest(self) -> None:
+        heap = self._expiry_heap
+        while heap:
+            expiry, digest = heapq.heappop(heap)
+            if self._seen.get(digest) == expiry:
+                del self._seen[digest]
+                return
 
     def _expire(self) -> None:
         now = self._clock.now()

@@ -28,6 +28,7 @@ the audit trail of intermediates, and the chain's effective expiry.
 
 from __future__ import annotations
 
+import hashlib as _hashlib
 import time as _time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
@@ -51,6 +52,11 @@ from repro.core.restrictions import (
     Grantee,
     IssuedFor,
     LimitRestriction,
+)
+from repro.core.vcache import (
+    ChainPrefixCache,
+    VerificationCacheConfig,
+    current_config,
 )
 from repro.crypto import rsa as _rsa
 from repro.crypto import schnorr as _schnorr
@@ -235,6 +241,9 @@ class VerifiedProxy:
 #: (conventional) or a public-key verifier (public scheme).
 _PossessionMaterial = Union[bytes, Verifier]
 
+#: Domain separator seeding the rolling chain-prefix cache key.
+_CHAIN_CACHE_DOMAIN = b"repro-vchain-v1"
+
 #: Restriction types an *issuing* server (authorization server, group
 #: server, TGS) evaluates when accepting a proxy it will re-issue from.
 #: Everything else is "to be interpreted by the end-server" (§7.5) and is
@@ -257,6 +266,10 @@ class ProxyVerifier:
         telemetry: observability sink; each verification opens a
             ``verify.chain`` span and feeds the ``verify_chain_seconds``
             histogram.  Defaults to the no-op telemetry.
+        cache_config: verification fast-path configuration; defaults to
+            the process default (:func:`repro.core.vcache.current_config`).
+        chain_cache: inject a prebuilt chain-prefix cache (mainly for
+            tests); defaults to one built from ``cache_config``.
     """
 
     def __init__(
@@ -268,6 +281,8 @@ class ProxyVerifier:
         freshness_window: float = 300.0,
         max_chain_length: int = 32,
         telemetry: Optional[Telemetry] = None,
+        cache_config: Optional[VerificationCacheConfig] = None,
+        chain_cache: Optional[ChainPrefixCache] = None,
     ) -> None:
         self.server = server
         self.crypto = crypto
@@ -278,8 +293,18 @@ class ProxyVerifier:
         self.telemetry = (
             telemetry if telemetry is not None else NO_TELEMETRY
         )
+        self.cache_config = (
+            cache_config if cache_config is not None else current_config()
+        )
+        self.chain_cache = (
+            chain_cache
+            if chain_cache is not None
+            else self.cache_config.build_chain_cache()
+        )
         self.accept_once = AcceptOnceRegistry(clock)
-        self.authenticators = AuthenticatorCache(clock, window=freshness_window)
+        self.authenticators = AuthenticatorCache(
+            clock, window=freshness_window, max_skew=max_skew
+        )
 
     # -- helpers ------------------------------------------------------------
 
@@ -452,22 +477,52 @@ class ProxyVerifier:
             raise ProxyVerificationError("chain must start with a root link")
 
         # Stage 1+2: signatures, walking possession material along the chain.
-        materials: list = []
+        # Certificates are immutable, so a chain prefix whose signatures
+        # verified under given key material verifies forever.  The walk keys
+        # a rolling hash on each link's content digest plus an identity
+        # token derived from the *live* key used to check that link (empty
+        # for cascade links, whose trust flows from the previous proxy key
+        # already folded into the prefix).  A prefix hit restores the
+        # possession material and skips re-verification of those links;
+        # freshness (`_check_link_times`) and grantor-key resolution still
+        # run on every link of every presentation, so expiry and revocation
+        # behave identically hot or cold.
+        cache = self.chain_cache
         audit_trail: list = []
         previous: Optional[_PossessionMaterial] = None
+        prefix_key = _CHAIN_CACHE_DOMAIN
+        chain_hits = chain_misses = chain_evictions = 0
         for index, cert in enumerate(certs):
             self._check_link_times(cert)
-            if index == 0:
-                verifier = self.crypto.grantor_verifier(cert.grantor)
-            elif cert.link_kind == LINK_CASCADE:
-                verifier = self._verifier_from_material(materials[index - 1])
-            elif cert.link_kind == LINK_DELEGATE:
-                verifier = self.crypto.grantor_verifier(cert.grantor)
-                audit_trail.append(cert.grantor)
-            else:
+            identity_verifier: Optional[Verifier] = None
+            if index == 0 or cert.link_kind == LINK_DELEGATE:
+                identity_verifier = self.crypto.grantor_verifier(cert.grantor)
+                if index > 0:
+                    audit_trail.append(cert.grantor)
+            elif cert.link_kind != LINK_CASCADE:
                 raise ProxyVerificationError(
                     f"link {index} has kind {cert.link_kind!r}"
                 )
+            if cache is not None:
+                token = (
+                    identity_verifier.key_id()
+                    if identity_verifier is not None
+                    else b""
+                )
+                prefix_key = _hashlib.sha256(
+                    prefix_key + cert.digest() + token
+                ).digest()
+                cached = cache.get(prefix_key)
+                if cached is not None:
+                    previous = cached
+                    chain_hits += 1
+                    continue
+                chain_misses += 1
+            verifier = (
+                identity_verifier
+                if identity_verifier is not None
+                else self._verifier_from_material(previous)
+            )
             try:
                 verifier.verify(cert.body_bytes(), cert.signature)
             except SignatureError as exc:
@@ -475,13 +530,35 @@ class ProxyVerifier:
                     f"signature of link {index} invalid: {exc}"
                 ) from exc
             previous = self._possession_material(cert, index, previous)
-            materials.append(previous)
+            if cache is not None:
+                chain_evictions += cache.put(prefix_key, previous)
+        if cache is not None:
+            telemetry = self.telemetry
+            if chain_hits:
+                telemetry.inc(
+                    "vcache.chain.hit",
+                    chain_hits,
+                    help="Chain-prefix cache hits (links skipped).",
+                )
+            if chain_misses:
+                telemetry.inc(
+                    "vcache.chain.miss",
+                    chain_misses,
+                    help="Chain-prefix cache misses (links verified).",
+                )
+            if chain_evictions:
+                telemetry.inc(
+                    "vcache.evictions",
+                    chain_evictions,
+                    help="Verification cache evictions, by layer.",
+                    layer="chain",
+                )
 
         # Stage 3+4: how is the final link exercised?
         final = certs[-1]
         bearer_use = presented.proof is not None
         if bearer_use:
-            self._verify_possession_proof(presented, materials[-1])
+            self._verify_possession_proof(presented, previous)
             if (
                 expected_digest is not None
                 and presented.proof.digest != expected_digest
@@ -565,5 +642,7 @@ class ProxyVerifier:
             raise ProxyVerificationError(
                 f"possession proof invalid: {exc}"
             ) from exc
-        if not self.authenticators.register(proof.replay_key()):
+        if not self.authenticators.register(
+            proof.replay_key(), timestamp=proof.timestamp
+        ):
             raise ReplayError("possession proof replayed")

@@ -21,14 +21,29 @@ classes expose an observation point: install a callable with
 :meth:`repro.obs.telemetry.Telemetry.capture_crypto`) and every operation
 reports ``(scheme, op, seconds, ok)``.  With no observer installed the
 cost is a single global load per operation.
+
+Because certificates are immutable, the same (key, message, signature)
+triple is re-verified on every repeat presentation of a chain.  The
+process-wide :class:`SignatureCache` memoizes *successful* verifications —
+a hit skips the modular exponentiation (or HMAC) entirely.  Failed
+verifications are never cached: a negative result must always be
+recomputed so key changes and tampering are re-examined from scratch.
+The cache only ever maps "this exact signature did verify under this
+exact key" — a statement that immutability makes permanent — so a hit can
+never turn a rejection into an acceptance that fresh verification would
+not also produce.  Signing is never cached (Schnorr signatures are
+randomized, and a signer's output is not evidence the *verifier* would
+accept it in a deployment where the two are separate hosts).
 """
 
 from __future__ import annotations
 
+import hashlib as _hashlib
 import time as _time
 from abc import ABC, abstractmethod
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Optional, Tuple
 
 from repro.crypto import mac as _mac
 from repro.crypto import rsa as _rsa
@@ -58,6 +73,104 @@ def set_signature_observer(
     return previous
 
 
+# ---------------------------------------------------------------------------
+# Signature-verification memoization
+# ---------------------------------------------------------------------------
+
+#: Cache key: (scheme, key fingerprint, message digest, signature bytes).
+SignatureCacheKey = Tuple[str, bytes, bytes, bytes]
+
+#: Observer of cache events: (event, scheme) with event in
+#: ``{"hit", "miss", "evict"}``.  Installed alongside the signature
+#: observer by the telemetry facade.
+SignatureCacheObserver = Callable[[str, str], None]
+
+_cache_observer: Optional[SignatureCacheObserver] = None
+
+
+def set_signature_cache_observer(
+    observer: Optional[SignatureCacheObserver],
+) -> Optional[SignatureCacheObserver]:
+    """Install (or remove) the cache-event observer; returns the previous."""
+    global _cache_observer
+    previous = _cache_observer
+    _cache_observer = observer
+    return previous
+
+
+class SignatureCache:
+    """LRU memo of successful signature verifications.
+
+    Shared by the RSA, Schnorr, and HMAC verifiers through the
+    :meth:`Verifier.verify` wrapper.  Only positive results are stored;
+    a lookup miss (or a failed verification) always runs the real
+    scheme-specific check.
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        if max_entries <= 0:
+            raise ValueError("signature cache needs a positive capacity")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[SignatureCacheKey, None]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def lookup(self, key: SignatureCacheKey) -> bool:
+        """True iff this exact verification already succeeded."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def store(self, key: SignatureCacheKey) -> int:
+        """Record a successful verification; returns evictions performed."""
+        evicted = 0
+        self._entries[key] = None
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            evicted += 1
+        self.evictions += evicted
+        return evicted
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._entries),
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: The process-wide cache, default-on (see VerificationCacheConfig for the
+#: injectable switch).  ``None`` disables memoization entirely.
+_sig_cache: Optional[SignatureCache] = SignatureCache()
+
+
+def set_signature_cache(
+    cache: Optional[SignatureCache],
+) -> Optional[SignatureCache]:
+    """Install (or with ``None``, disable) the global cache; returns previous."""
+    global _sig_cache
+    previous = _sig_cache
+    _sig_cache = cache
+    return previous
+
+
+def get_signature_cache() -> Optional[SignatureCache]:
+    """The currently installed global signature cache, if any."""
+    return _sig_cache
+
+
 class Verifier(ABC):
     """Anything able to check a signature."""
 
@@ -74,18 +187,38 @@ class Verifier(ABC):
 
     def verify(self, message: bytes, signature: bytes) -> None:
         """Raise :class:`SignatureError` unless ``signature`` is valid."""
+        cache = _sig_cache
+        key: Optional[SignatureCacheKey] = None
+        if cache is not None:
+            key = (
+                self.scheme,
+                self.key_id(),
+                _hashlib.sha256(message).digest(),
+                signature,
+            )
+            if cache.lookup(key):
+                if _cache_observer is not None:
+                    _cache_observer("hit", self.scheme)
+                return
+            if _cache_observer is not None:
+                _cache_observer("miss", self.scheme)
         if _observer is None:
             self._verify(message, signature)
-            return
-        start = _time.perf_counter()
-        try:
-            self._verify(message, signature)
-        except SignatureError:
+        else:
+            start = _time.perf_counter()
+            try:
+                self._verify(message, signature)
+            except SignatureError:
+                _observer(
+                    self.scheme, "verify", _time.perf_counter() - start, False
+                )
+                raise
             _observer(
-                self.scheme, "verify", _time.perf_counter() - start, False
+                self.scheme, "verify", _time.perf_counter() - start, True
             )
-            raise
-        _observer(self.scheme, "verify", _time.perf_counter() - start, True)
+        if key is not None and cache.store(key):
+            if _cache_observer is not None:
+                _cache_observer("evict", self.scheme)
 
 
 class Signer(Verifier):

@@ -60,6 +60,11 @@ class KerberosClient:
         #: Cross-realm TGTs by remote realm name.
         self._cross_tgts: Dict[str, Credentials] = {}
 
+    @property
+    def rng(self) -> Rng:
+        """This principal's random source (seeded in testbed deployments)."""
+        return self._rng
+
     # ------------------------------------------------------------------
 
     def _call_kdc(self, msg_type: str, payload: dict) -> dict:

@@ -203,6 +203,7 @@ class KerberosProxyAcceptor:
         clock: Clock,
         max_skew: float = 60.0,
         telemetry=None,
+        cache_config=None,
     ) -> None:
         self.server = server
         self._server_key = server_key
@@ -214,6 +215,7 @@ class KerberosProxyAcceptor:
             clock=clock,
             max_skew=max_skew,
             telemetry=telemetry,
+            cache_config=cache_config,
         )
 
     def accept(

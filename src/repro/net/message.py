@@ -45,8 +45,16 @@ class Message:
     in_reply_to: Optional[int] = None
 
     def wire_size(self) -> int:
-        """Bytes this message would occupy on a real wire."""
-        return len(
+        """Bytes this message would occupy on a real wire.
+
+        Messages are frozen, so the canonical encoding is computed once
+        and memoized — a message observed by several network taps is not
+        re-serialized each time.
+        """
+        cached = self.__dict__.get("_wire_size")
+        if cached is not None:
+            return cached
+        size = len(
             encode(
                 [
                     self.source.to_wire(),
@@ -56,6 +64,8 @@ class Message:
                 ]
             )
         )
+        object.__setattr__(self, "_wire_size", size)
+        return size
 
     def reply(self, payload: dict, msg_type: Optional[str] = None) -> "Message":
         """Build the response message for this request."""

@@ -23,6 +23,7 @@ from repro.obs.metrics import (
     Histogram,
     Metric,
     MetricsRegistry,
+    prometheus_name,
 )
 from repro.obs.trace import Span
 
@@ -197,12 +198,13 @@ def prometheus_text(registry: MetricsRegistry) -> str:
     """Render every family in the Prometheus text exposition format."""
     lines: List[str] = []
     for metric in registry.families():
-        lines.append(f"# HELP {metric.name} {metric.help or metric.name}")
-        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        name = prometheus_name(metric.name)
+        lines.append(f"# HELP {name} {metric.help or metric.name}")
+        lines.append(f"# TYPE {name} {metric.kind}")
         if isinstance(metric, (Counter, Gauge)):
             for key, value in metric.series():
                 lines.append(
-                    f"{metric.name}{_format_labels(key)} "
+                    f"{name}{_format_labels(key)} "
                     f"{_format_value(value)}"
                 )
         elif isinstance(metric, Histogram):
@@ -213,19 +215,19 @@ def prometheus_text(registry: MetricsRegistry) -> str:
                 ):
                     cumulative = bucket_count
                     lines.append(
-                        f"{metric.name}_bucket"
+                        f"{name}_bucket"
                         f"{_format_labels(key, {'le': _format_value(bound)})}"
                         f" {cumulative}"
                     )
                 lines.append(
-                    f"{metric.name}_bucket"
+                    f"{name}_bucket"
                     f"{_format_labels(key, {'le': '+Inf'})} {series.count}"
                 )
                 lines.append(
-                    f"{metric.name}_sum{_format_labels(key)} "
+                    f"{name}_sum{_format_labels(key)} "
                     f"{_format_value(series.sum)}"
                 )
                 lines.append(
-                    f"{metric.name}_count{_format_labels(key)} {series.count}"
+                    f"{name}_count{_format_labels(key)} {series.count}"
                 )
     return "\n".join(lines) + ("\n" if lines else "")

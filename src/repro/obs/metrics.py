@@ -20,7 +20,23 @@ by construction, so there are no locks on the hot path.
 
 from __future__ import annotations
 
+import re
 from typing import Dict, Iterable, List, Optional, Tuple
+
+_PROM_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prometheus_name(name: str) -> str:
+    """Sanitize a metric name for the Prometheus exposition format.
+
+    Internal names use dots for namespacing (``vcache.sig.hit``); the
+    exposition format only allows ``[a-zA-Z0-9_:]``, so dots and any
+    other stray characters become underscores.
+    """
+    sanitized = _PROM_NAME_BAD.sub("_", name.replace(".", "_"))
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
 
 #: Default histogram buckets for durations in seconds — spans six decades
 #: because a signature verify is microseconds while a cascaded protocol run

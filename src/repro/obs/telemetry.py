@@ -224,7 +224,22 @@ class Telemetry:
                 op=op,
             )
 
+        def cache_observer(event: str, scheme: str) -> None:
+            if event == "evict":
+                self.inc(
+                    "vcache.evictions",
+                    help="Verification cache evictions, by layer.",
+                    layer="sig",
+                )
+            else:
+                self.inc(
+                    f"vcache.sig.{event}",
+                    help="Signature memoization cache hits/misses.",
+                    scheme=scheme,
+                )
+
         _signature.set_signature_observer(observer)
+        _signature.set_signature_cache_observer(cache_observer)
         self._crypto_captured = True
 
     def release_crypto(self) -> None:
@@ -232,6 +247,7 @@ class Telemetry:
             from repro.crypto import signature as _signature
 
             _signature.set_signature_observer(None)
+            _signature.set_signature_cache_observer(None)
             self._crypto_captured = False
 
     # -- convenience exports (thin wrappers over repro.obs.export) -----------

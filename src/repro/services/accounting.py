@@ -143,13 +143,23 @@ class AccountingServer(EndServer):
         kerberos: KerberosClient,
         default_lifetime: float = 3600.0,
         rng: Optional[Rng] = None,
+        cache_config=None,
         **kwargs,
     ) -> None:
         # The server-level ACL is open: authorization is per-account
         # ("each account contains ... an access-control-list", §4).
         kwargs.setdefault("acl", AccessControlList.open_to_all())
+        # Check clearing re-presents the same endorsement chains on every
+        # hop (Fig. 5), so the verification fast path matters here most;
+        # cache_config is explicit to keep the knob discoverable.
         super().__init__(
-            principal, secret_key, network, clock, rng=rng, **kwargs
+            principal,
+            secret_key,
+            network,
+            clock,
+            rng=rng,
+            cache_config=cache_config,
+            **kwargs,
         )
         if kerberos.principal != principal:
             raise ServiceError(
@@ -624,9 +634,16 @@ class AccountingClient:
     """A principal's interface to its accounting server (§4)."""
 
     def __init__(
-        self, kerberos: KerberosClient, accounting_server: PrincipalId
+        self,
+        kerberos: KerberosClient,
+        accounting_server: PrincipalId,
+        rng: Optional[Rng] = None,
     ) -> None:
         self.service = ServiceClient(kerberos, accounting_server)
+        # Default to the principal's own (testbed-seeded) source so check
+        # numbers and endorsement proxy keys are reproducible — figure
+        # replays are compared byte-for-byte by the cache parity suite.
+        self._rng = rng if rng is not None else kerberos.rng
 
     @property
     def server(self) -> PrincipalId:
@@ -685,6 +702,7 @@ class AccountingClient:
             issued_at=now,
             expires_at=now + lifetime,
             number=number,
+            rng=self._rng,
         )
 
     def deposit_check(
@@ -721,6 +739,7 @@ class AccountingClient:
             additional_restrictions=(),
             issued_at=clock.now(),
             expires_at=check.expires_at,
+            rng=self._rng,
         )
         return self.service.request(
             "deposit-check",

@@ -100,6 +100,7 @@ class EndServer(Service):
         max_skew: float = 60.0,
         rng: Optional[Rng] = None,
         telemetry=None,
+        cache_config=None,
     ) -> None:
         super().__init__(principal, network, clock, telemetry=telemetry)
         self.acl = acl if acl is not None else AccessControlList()
@@ -111,6 +112,7 @@ class EndServer(Service):
             clock,
             max_skew=max_skew,
             telemetry=self.telemetry,
+            cache_config=cache_config,
         )
         self.sessions: Dict[bytes, Session] = {}
         self._operations: Dict[str, Handler] = {}

@@ -180,6 +180,7 @@ class PkEndServer(Service):
         max_skew: float = 60.0,
         rng: Optional[Rng] = None,
         telemetry=None,
+        cache_config=None,
     ) -> None:
         super().__init__(principal, network, clock, telemetry=telemetry)
         self.directory = directory
@@ -193,9 +194,12 @@ class PkEndServer(Service):
             clock=clock,
             max_skew=max_skew,
             telemetry=self.telemetry,
+            cache_config=cache_config,
         )
         self._envelope_replay = AuthenticatorCache(
-            clock, window=self.verifier.freshness_window
+            clock,
+            window=self.verifier.freshness_window,
+            max_skew=max_skew,
         )
         self._operations: Dict[str, Callable] = {}
         self.audit = AuditLog(telemetry=self.telemetry)
@@ -223,7 +227,8 @@ class PkEndServer(Service):
         except (SignatureError, UnknownPrincipalError) as exc:
             raise AuthenticatorError(f"envelope rejected: {exc}") from exc
         if not self._envelope_replay.register(
-            envelope.body_bytes() + envelope.signature
+            envelope.body_bytes() + envelope.signature,
+            timestamp=envelope.timestamp,
         ):
             raise ReplayError("envelope replayed")
         return envelope.claimant

@@ -70,13 +70,19 @@ class Realm:
         network: Optional[Network] = None,
         clock: Optional[Clock] = None,
         telemetry: Optional[Telemetry] = None,
+        verify_cache=None,
     ) -> None:
         """Build a realm; pass a shared ``network``/``clock`` to co-locate
         several realms on one fabric (see :func:`federation`).  An optional
         ``telemetry`` is bound to the realm clock and threaded into the
         network (and from there into every service); when a shared network
-        is supplied, its telemetry is adopted instead."""
+        is supplied, its telemetry is adopted instead.  ``verify_cache``
+        (a :class:`~repro.core.vcache.VerificationCacheConfig`) becomes
+        the default ``cache_config`` of every end-server the realm builds —
+        pass :data:`~repro.core.vcache.DISABLED_CONFIG` to run the realm
+        with the verification fast path off."""
         self.rng = Rng(seed=seed)
+        self.verify_cache = verify_cache
         if clock is not None:
             self.clock = clock
         else:
@@ -140,8 +146,14 @@ class Realm:
 
     # ------------------------------------------------------------------
 
+    def _apply_verify_cache(self, kwargs: dict) -> dict:
+        if self.verify_cache is not None:
+            kwargs.setdefault("cache_config", self.verify_cache)
+        return kwargs
+
     def file_server(self, name: str, **kwargs) -> FileServer:
         principal, key, _ = self._server_identity(name)
+        kwargs = self._apply_verify_cache(kwargs)
         return FileServer(
             principal,
             key,
@@ -153,6 +165,7 @@ class Realm:
 
     def print_server(self, name: str, **kwargs) -> PrintServer:
         principal, key, _ = self._server_identity(name)
+        kwargs = self._apply_verify_cache(kwargs)
         return PrintServer(
             principal, key, self.network, self.clock, **kwargs
         )
@@ -163,6 +176,7 @@ class Realm:
 
     def authorization_server(self, name: str, **kwargs) -> AuthorizationServer:
         principal, key, agent = self._server_identity(name)
+        kwargs = self._apply_verify_cache(kwargs)
         return AuthorizationServer(
             principal,
             key,
@@ -175,6 +189,7 @@ class Realm:
 
     def group_server(self, name: str, **kwargs) -> GroupServer:
         principal, key, agent = self._server_identity(name)
+        kwargs = self._apply_verify_cache(kwargs)
         return GroupServer(
             principal,
             key,
@@ -187,6 +202,7 @@ class Realm:
 
     def accounting_server(self, name: str, **kwargs) -> AccountingServer:
         principal, key, agent = self._server_identity(name)
+        kwargs = self._apply_verify_cache(kwargs)
         return AccountingServer(
             principal,
             key,

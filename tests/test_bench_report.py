@@ -1,0 +1,61 @@
+"""The benchmark report table must survive empty and ragged rows.
+
+``benchmarks/`` is not a package, so the conftest is loaded by path.
+"""
+
+import importlib.util
+import pathlib
+
+_CONFTEST = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "benchmarks"
+    / "conftest.py"
+)
+
+
+def _load_report():
+    spec = importlib.util.spec_from_file_location(
+        "bench_conftest", _CONFTEST
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.report
+
+
+def test_report_with_no_rows(capsys):
+    report = _load_report()
+    report("empty", [], ("col_a", "col_b"))
+    out = capsys.readouterr().out
+    assert "--- empty ---" in out
+    assert "col_a" in out and "col_b" in out
+
+
+def test_report_pads_short_rows(capsys):
+    report = _load_report()
+    report(
+        "ragged",
+        [("only-one",), ("x", "y", "z")],
+        ("first", "second", "third"),
+    )
+    out = capsys.readouterr().out
+    lines = [l for l in out.splitlines() if l.strip()]
+    header = next(l for l in lines if "first" in l)
+    # Every data row renders the full column count (same separator count
+    # as the header) instead of crashing or dropping trailing columns.
+    for line in lines[lines.index(header) + 2:]:
+        assert line.count("|") == header.count("|")
+    assert "only-one" in out
+
+
+def test_report_truncates_long_rows(capsys):
+    report = _load_report()
+    report("long", [("a", "b", "c", "overflow")], ("one", "two", "three"))
+    out = capsys.readouterr().out
+    assert "overflow" not in out
+
+
+def test_report_stringifies_values(capsys):
+    report = _load_report()
+    report("types", [(1, 2.5, None)], ("int", "float", "none"))
+    out = capsys.readouterr().out
+    assert "2.5" in out and "None" in out
