@@ -8,6 +8,11 @@ calls each step (for the full walkthroughs see ``examples/``).
 figures (fig1, fig3, fig4, fig5) under live telemetry and prints the
 span tree, the numbered message trace in the figure's notation, and the
 Prometheus metrics the run produced.
+
+``python -m repro chaos <figure>`` runs a seeded fault campaign against
+the same figure workloads on the resilience layer and prints a recovery
+report — retries, failovers, dedupe, degraded grants — plus a parity
+verdict against a fault-free baseline.
 """
 
 from __future__ import annotations
@@ -158,6 +163,36 @@ def trace(
         print(f"\nwrote {len(telemetry.tracer.spans)} spans to {jsonl}")
 
 
+def chaos(args) -> int:
+    """Run one chaos campaign and print its recovery report."""
+    from repro.resil.chaos import CampaignSpec, run_campaign
+
+    outage = None
+    if args.outage:
+        try:
+            start, _, stop = args.outage.partition(":")
+            outage = (float(start), float(stop))
+        except ValueError:
+            raise SystemExit(
+                f"--outage wants START:STOP seconds, got {args.outage!r}"
+            )
+        if outage[0] >= outage[1]:
+            raise SystemExit("--outage window must have START < STOP")
+    spec = CampaignSpec(
+        figure=args.figure,
+        seed=args.seed,
+        units=args.units,
+        drop_rate=args.drop_rate,
+        response_drop_rate=args.response_drop_rate,
+        retry=not args.no_retry,
+        outage=outage,
+        kill_primary=args.kill_primary,
+    )
+    report = run_campaign(spec)
+    print(report.render())
+    return report.exit_code()
+
+
 def main(argv=None) -> None:
     from repro.obs.figures import FIGURES
 
@@ -183,7 +218,52 @@ def main(argv=None) -> None:
         action="store_true",
         help="run with the verification fast path disabled",
     )
+    chaos_parser = sub.add_parser(
+        "chaos",
+        help="run a seeded fault campaign against a figure workload",
+    )
+    chaos_parser.add_argument("figure", choices=sorted(FIGURES))
+    chaos_parser.add_argument(
+        "--seed", type=int, default=7, help="campaign seed (default 7)"
+    )
+    chaos_parser.add_argument(
+        "--units",
+        type=int,
+        default=20,
+        help="units of figure work to run (default 20)",
+    )
+    chaos_parser.add_argument(
+        "--drop-rate",
+        type=float,
+        default=0.0,
+        help="probability of losing each request leg",
+    )
+    chaos_parser.add_argument(
+        "--response-drop-rate",
+        type=float,
+        default=0.0,
+        help="probability of losing each reply after the handler ran",
+    )
+    chaos_parser.add_argument(
+        "--no-retry",
+        action="store_true",
+        help="control arm: no retries, failures are expected",
+    )
+    chaos_parser.add_argument(
+        "--outage",
+        default="",
+        metavar="START:STOP",
+        help="blackhole the figure's authority for this window "
+        "(seconds from fault-injection time, e.g. 5:65)",
+    )
+    chaos_parser.add_argument(
+        "--kill-primary",
+        action="store_true",
+        help="stand up a KDC replica and kill the primary outright",
+    )
     args = parser.parse_args(argv)
+    if args.command == "chaos":
+        raise SystemExit(chaos(args))
     if args.command == "trace":
         trace(
             args.figure,

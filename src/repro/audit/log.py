@@ -36,6 +36,10 @@ class AuditRecord:
     operation: str
     target: Optional[str]
     bearer: bool
+    #: The grant was honoured while the issuing authority was unreachable
+    #: (degraded mode, §3.1–3.2) — flagged so operators can review every
+    #: decision taken on cached credentials after the outage.
+    degraded: bool = False
 
     def describe(self) -> str:
         via = (
@@ -44,10 +48,13 @@ class AuditRecord:
             else ""
         )
         actor = str(self.claimant) if self.claimant else "<bearer>"
-        return (
+        text = (
             f"t={self.time:.3f} {self.server}: {actor} exercised rights of "
             f"{self.grantor}{via}: {self.operation} {self.target or ''}"
         ).rstrip()
+        if self.degraded:
+            text += " [degraded]"
+        return text
 
 
 class AuditLog:
@@ -74,6 +81,7 @@ class AuditLog:
             operation=operation,
             target=target,
             bearer=verified.bearer,
+            degraded=verified.degraded,
         )
         self._records.append(entry)
         telemetry = self._telemetry
@@ -91,6 +99,7 @@ class AuditLog:
                 operation=operation,
                 target=target,
                 bearer=entry.bearer,
+                degraded=entry.degraded,
             )
             telemetry.inc(
                 "audit_records_total",

@@ -227,6 +227,10 @@ class VerifiedProxy:
         expires_at: effective expiry (tightest link).
         bearer: True when the final link was exercised by key possession.
         chain_length: number of certificate links verified.
+        degraded: True when the grant was honoured while the issuing
+            authority was unreachable — the proxy itself verified offline
+            as always (§3.1–3.2: that is the availability mechanism), but
+            the server flags the decision for the audit trail.
     """
 
     grantor: PrincipalId
@@ -235,6 +239,7 @@ class VerifiedProxy:
     expires_at: float
     bearer: bool
     chain_length: int
+    degraded: bool = False
 
 
 #: What we track while walking the chain: either a symmetric proxy key

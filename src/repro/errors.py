@@ -160,3 +160,33 @@ class UnknownEndpointError(NetworkError):
 
 class MessageDroppedError(NetworkError):
     """The fault injector dropped the message."""
+
+
+class ResponseDroppedError(MessageDroppedError):
+    """The fault injector dropped the *response* leg.
+
+    The request was delivered and the handler ran — server side effects
+    (ticket issuance, replay-cache registration, account mutation) have
+    already happened.  Retrying after this error is the interesting case:
+    a verbatim resend must be deduplicated server-side, not re-executed.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Resilience layer
+# ---------------------------------------------------------------------------
+
+class ResilienceError(ReproError):
+    """Base class for resilience-layer failures."""
+
+
+class RetriesExhaustedError(ResilienceError):
+    """Every attempt permitted by the retry policy failed."""
+
+    def __init__(self, message: str, attempts: int = 0) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+
+
+class CircuitOpenError(ResilienceError):
+    """All candidate endpoints have open circuit breakers."""

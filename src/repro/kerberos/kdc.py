@@ -97,8 +97,19 @@ class KeyDistributionCenter(Service):
         realm: str = "REPRO.ORG",
         max_skew: float = 60.0,
         rng: Optional[Rng] = None,
+        dedupe=None,
+        endpoint: Optional[PrincipalId] = None,
     ) -> None:
-        super().__init__(kdc_principal(realm), network, clock)
+        """``endpoint`` registers this KDC under a replica name instead of
+        the realm's well-known ``kdc`` principal; replicas share a
+        ``database`` so any of them can issue equivalent tickets."""
+        super().__init__(
+            kdc_principal(realm),
+            network,
+            clock,
+            dedupe=dedupe,
+            endpoint=endpoint,
+        )
         self.realm = realm
         self.max_skew = max_skew
         self._rng = rng or DEFAULT_RNG

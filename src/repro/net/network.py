@@ -11,9 +11,12 @@ A synchronous, deterministic message-passing fabric:
   measured consequence of message count.
 * **Taps** observe every message (the eavesdropper attacker of §3.1 is a
   tap), seeing exactly the bytes a wire would carry.
-* **Fault injection** can drop requests by destination or probability, for
-  failure-path tests.  Drops are attributed per (source, destination) pair
-  and per message type.
+* **Fault injection** can drop messages by destination (blackholes —
+  permanent or timed partitions) or probability, independently on the
+  request and response legs, for failure-path tests.  A response-leg drop
+  happens *after* the handler ran, so server side effects are committed —
+  the case that forces retries to be replay-safe.  Drops are attributed
+  per (source, destination) pair and per message type.
 * **Telemetry** (optional): every ``send`` opens a ``net.send`` span and
   feeds the ``network_messages_total`` / ``network_bytes_total`` counters.
   The default is the no-op telemetry, which changes nothing.
@@ -30,7 +33,11 @@ from typing import Callable, Dict, List, Optional
 from repro.clock import Clock, SimulatedClock
 from repro.crypto.rng import DEFAULT_RNG, Rng
 from repro.encoding.identifiers import PrincipalId
-from repro.errors import MessageDroppedError, UnknownEndpointError
+from repro.errors import (
+    MessageDroppedError,
+    ResponseDroppedError,
+    UnknownEndpointError,
+)
 from repro.net.message import Message
 from repro.net.metrics import NetworkMetrics
 from repro.obs.telemetry import NO_TELEMETRY, Telemetry
@@ -70,7 +77,10 @@ class Network:
         self._endpoints: Dict[PrincipalId, Handler] = {}
         self._taps: List[Tap] = []
         self._drop_probability = 0.0
-        self._blackholes: set = set()
+        self._response_drop_probability = 0.0
+        #: Partitioned principals -> (start, end) of the outage window
+        #: (``end = inf`` means until healed).
+        self._blackholes: Dict[PrincipalId, tuple] = {}
 
     # -- topology -----------------------------------------------------------
 
@@ -93,18 +103,57 @@ class Network:
     def remove_tap(self, tap: Tap) -> None:
         self._taps.remove(tap)
 
-    def set_drop_probability(self, probability: float) -> None:
-        """Drop each request with this probability (responses unaffected)."""
+    def set_drop_probability(
+        self, probability: float, leg: str = "request"
+    ) -> None:
+        """Drop each message on ``leg`` with this probability.
+
+        ``leg`` is ``"request"`` (default, the historical behavior),
+        ``"response"`` (the reply is lost *after* the handler ran and its
+        side effects committed — raised as :class:`ResponseDroppedError`),
+        or ``"both"``.
+        """
         if not 0.0 <= probability <= 1.0:
             raise ValueError("probability must be within [0, 1]")
-        self._drop_probability = probability
+        if leg not in ("request", "response", "both"):
+            raise ValueError("leg must be 'request', 'response', or 'both'")
+        if leg in ("request", "both"):
+            self._drop_probability = probability
+        if leg in ("response", "both"):
+            self._response_drop_probability = probability
 
-    def blackhole(self, principal: PrincipalId) -> None:
-        """Silently drop everything sent to ``principal`` (partition)."""
-        self._blackholes.add(principal)
+    def blackhole(
+        self,
+        principal: PrincipalId,
+        until: Optional[float] = None,
+        since: Optional[float] = None,
+    ) -> None:
+        """Drop everything sent to ``principal`` (partition).
+
+        ``until`` bounds the outage on the network clock; ``None`` means
+        the partition lasts until :meth:`heal`.  ``since`` schedules the
+        window's start (default: effective immediately) — a window opening
+        between a request and its reply loses the reply only.
+        """
+        self._blackholes[principal] = (
+            float("-inf") if since is None else float(since),
+            float("inf") if until is None else float(until),
+        )
 
     def heal(self, principal: PrincipalId) -> None:
-        self._blackholes.discard(principal)
+        self._blackholes.pop(principal, None)
+
+    def _partitioned(self, principal: PrincipalId) -> bool:
+        """True when ``principal`` is inside an active blackhole window."""
+        window = self._blackholes.get(principal)
+        if window is None:
+            return False
+        since, until = window
+        now = self.clock.now()
+        if until <= now:
+            del self._blackholes[principal]
+            return False
+        return since <= now
 
     # -- delivery ------------------------------------------------------------
 
@@ -138,7 +187,14 @@ class Network:
             tap(message)
         return size
 
-    def _drop(self, message: Message, reason: str, span, detail: str) -> None:
+    def _drop(
+        self,
+        message: Message,
+        reason: str,
+        span,
+        detail: str,
+        error=MessageDroppedError,
+    ) -> None:
         """Record an attributed drop (metrics + telemetry), then raise."""
         self.metrics.record_drop(
             str(message.source), str(message.destination), message.msg_type
@@ -147,12 +203,12 @@ class Network:
         if telemetry.enabled:
             telemetry.inc(
                 "network_dropped_total",
-                help="Requests eaten by fault injection, by reason and type.",
+                help="Messages eaten by fault injection, by reason and type.",
                 reason=reason,
                 msg_type=message.msg_type,
             )
         span.set(dropped=True, drop_reason=reason)
-        raise MessageDroppedError(detail)
+        raise error(detail)
 
     def send(
         self,
@@ -181,7 +237,7 @@ class Network:
         ) as span:
             request_size = self._observe(message)
             span.set(request_bytes=request_size)
-            if destination in self._blackholes:
+            if self._partitioned(destination):
                 self._drop(
                     message,
                     "blackhole",
@@ -206,4 +262,26 @@ class Network:
             response_size = self._observe(response)
             self._advance()
             span.set(response_bytes=response_size, messages=2)
+            # Response-leg faults fire after the handler: its side effects
+            # are committed, only the reply is lost.
+            if self._partitioned(destination) or self._partitioned(
+                response.destination
+            ):
+                self._drop(
+                    response,
+                    "blackhole",
+                    span,
+                    f"reply from {destination} lost to a partition",
+                    error=ResponseDroppedError,
+                )
+            if self._response_drop_probability > 0.0:
+                draw = self.rng.int_below(1_000_000) / 1_000_000.0
+                if draw < self._response_drop_probability:
+                    self._drop(
+                        response,
+                        "random-response",
+                        span,
+                        "response dropped by fault injector",
+                        error=ResponseDroppedError,
+                    )
             return response.payload

@@ -34,14 +34,25 @@ class Service:
         network: Network,
         clock: Clock,
         telemetry: Optional[Telemetry] = None,
+        dedupe=None,
+        endpoint: Optional[PrincipalId] = None,
     ) -> None:
+        """``endpoint`` is the name registered on the network (defaults to
+        ``principal``) — replicas of a logical service register under their
+        own endpoint names while serving in the logical principal's name.
+        ``dedupe`` (a :class:`~repro.resil.dedupe.ResponseCache`) makes
+        retried requests exactly-once: a byte-identical resend of a request
+        the service already answered returns the cached reply instead of
+        re-running the handler."""
         self.principal = principal
         self.network = network
         self.clock = clock
         self.telemetry = (
             telemetry if telemetry is not None else network.telemetry
         )
-        network.register(principal, self.handle)
+        self.dedupe = dedupe
+        self.endpoint = endpoint if endpoint is not None else principal
+        network.register(self.endpoint, self.handle)
 
     def handle(self, message: Message) -> dict:
         """Dispatch to ``op_<msg_type>``; map library errors to payloads."""
@@ -50,7 +61,29 @@ class Service:
             service=str(self.principal),
             msg_type=message.msg_type,
         ) as span:
-            return self._dispatch(message, span)
+            dedupe_key = None
+            if self.dedupe is not None:
+                dedupe_key = self.dedupe.key_of(message)
+            if dedupe_key is not None:
+                cached = self.dedupe.get(dedupe_key)
+                if cached is not None:
+                    # A resend of a request whose reply was lost: the
+                    # handler's side effects are already committed, so we
+                    # return the original reply (error payloads included).
+                    span.set(deduped=True)
+                    if self.telemetry.enabled:
+                        self.telemetry.inc(
+                            "resil.deduped_total",
+                            help="Resent requests answered from the "
+                            "response cache.",
+                            service=str(self.principal),
+                            msg_type=message.msg_type,
+                        )
+                    return cached
+            response = self._dispatch(message, span)
+            if dedupe_key is not None:
+                self.dedupe.put(dedupe_key, response)
+            return response
 
     def _dispatch(self, message: Message, span) -> dict:
         method_name = "op_" + message.msg_type.replace("-", "_")

@@ -1,0 +1,47 @@
+"""The resilience layer: retries, breakers, failover, degraded mode.
+
+The network substrate injects faults (drops, partitions); this package is
+what *recovers* from them:
+
+* :mod:`repro.resil.policy` — retry/backoff/timeout policies and the
+  circuit breaker state machine;
+* :mod:`repro.resil.channel` — :class:`ResilientChannel`, a drop-in
+  wrapper around :class:`~repro.net.network.Network` giving every RPC
+  retry/timeout/breaker semantics and replica failover;
+* :mod:`repro.resil.replica` — replica groups behind one logical
+  principal;
+* :mod:`repro.resil.dedupe` — the server-side response cache that makes
+  at-least-once delivery look exactly-once;
+* :mod:`repro.resil.degraded` — §3.1–3.2 degraded-mode authorization:
+  cached proxies keep working while the authorization server is down;
+* :mod:`repro.resil.chaos` — seeded fault campaigns over the paper's
+  figure workloads (``python -m repro chaos``).
+
+See ``docs/resilience.md`` for the model.
+"""
+
+from repro.resil.channel import ChannelStats, ResilientChannel
+from repro.resil.dedupe import ResponseCache
+from repro.resil.degraded import ProxyCache, ResilientAuthorizationClient
+from repro.resil.policy import (
+    NO_RETRY,
+    BreakerPolicy,
+    CircuitBreaker,
+    RetryPolicy,
+    Timeout,
+)
+from repro.resil.replica import ReplicaGroup
+
+__all__ = [
+    "BreakerPolicy",
+    "ChannelStats",
+    "CircuitBreaker",
+    "NO_RETRY",
+    "ProxyCache",
+    "ReplicaGroup",
+    "ResilientAuthorizationClient",
+    "ResilientChannel",
+    "ResponseCache",
+    "RetryPolicy",
+    "Timeout",
+]

@@ -1,0 +1,562 @@
+"""Chaos campaigns: seeded fault injection against the paper's figures.
+
+A campaign replays one of the paper's protocol workloads (fig1, fig3,
+fig4, fig5) many times on a resilient realm while the simulated network
+misbehaves — request legs dropped, reply legs lost after server side
+effects committed, the issuing authority blackholed for a window, the
+primary KDC killed outright.  Because the fabric is deterministic, the
+same seed always produces the same faults, the same retries, and the
+same recovery, so a chaos run is a *repeatable experiment*, not a dice
+roll.
+
+Every campaign runs twice:
+
+* a **fault-free baseline** on an identically-seeded realm, recording
+  each unit of work's application-level outcome;
+* the **faulted run**, under the requested fault mix.
+
+The report compares outcomes unit by unit (*parity*): with retries on,
+a correct resilience layer must deliver exactly the results the healthy
+system would have — drops become latency, never divergence.  With
+``retry=False`` the same campaign is the control arm: failures surface
+as unrecoverable errors, which is the point of the comparison.
+
+Workloads mirror the paper's figures:
+
+* ``fig1`` — bearer capability presented anonymously (§3.1).  No
+  authority is on the request path, so even a KDC outage only slows
+  things down: verification is offline.
+* ``fig3`` — authorization-server grants (§3.2) through
+  :class:`~repro.resil.degraded.ResilientAuthorizationClient`; an
+  ``--outage`` window on the authorization server exercises degraded
+  mode end to end (cached proxies honoured, grants flagged in the
+  audit log).
+* ``fig4`` — a delegate cascade alice → carol → dave presented with a
+  session (§3.4); every unit builds and verifies a fresh chain.
+* ``fig5`` — cross-bank check clearing (§4): write, endorse, deposit,
+  with the inter-bank E2 hop riding the same resilient fabric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.acl import AclEntry, SinglePrincipal
+from repro.core.restrictions import Authorized, AuthorizedEntry, Grantee
+from repro.encoding.identifiers import PrincipalId
+from repro.errors import ReproError
+from repro.kerberos.kdc import kdc_principal
+from repro.kerberos.proxy_support import endorse, grant_via_credentials
+from repro.resil.policy import NO_RETRY, RetryPolicy
+from repro.testbed import Realm
+
+#: The campaign policy leans harder on retries than the realm default:
+#: at 30% request loss a send still fails outright only with
+#: probability 0.3^8 ≈ 7e-5, so seeded acceptance runs recover fully.
+CAMPAIGN_POLICY = RetryPolicy(max_attempts=8)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One chaos experiment, fully determined by its fields."""
+
+    figure: str
+    seed: int = 7
+    units: int = 20
+    #: Probability of losing each request leg / each response leg.
+    drop_rate: float = 0.0
+    response_drop_rate: float = 0.0
+    #: False runs the control arm (no retries — failures expected).
+    retry: bool = True
+    #: Blackhole the workload's authority for a window, expressed as
+    #: ``(start, stop)`` offsets in seconds from fault-injection time.
+    outage: Optional[Tuple[float, float]] = None
+    #: Stand up a KDC replica, then permanently blackhole the primary
+    #: before any traffic flows — everything must fail over.
+    kill_primary: bool = False
+    #: Simulated seconds between unit arrivals.  Units are near-instant
+    #: on the simulated fabric; pacing spreads them out so ``outage``
+    #: windows expressed in seconds actually overlap the workload.
+    pacing: float = 1.0
+
+    def describe_faults(self) -> str:
+        parts = []
+        if self.drop_rate:
+            parts.append(f"request-drop {self.drop_rate:.0%}")
+        if self.response_drop_rate:
+            parts.append(f"response-drop {self.response_drop_rate:.0%}")
+        if self.outage:
+            start, stop = self.outage
+            parts.append(f"authority outage t+{start:g}s..t+{stop:g}s")
+        if self.kill_primary:
+            parts.append("primary KDC killed (replica stands in)")
+        return ", ".join(parts) if parts else "none"
+
+
+@dataclass(frozen=True)
+class UnitResult:
+    """Outcome of one unit of figure work."""
+
+    index: int
+    ok: bool
+    outcome: Any = None
+    error: str = ""
+
+
+@dataclass
+class ChaosReport:
+    """What the faulted run did, and whether it matched the baseline."""
+
+    spec: CampaignSpec
+    units: List[UnitResult]
+    baseline_units: List[UnitResult]
+    stats: Dict[str, int]
+    dedupe_hits: int
+    degraded_client: int
+    degraded_server: int
+    sim_seconds: float
+    finale: Any = None
+    baseline_finale: Any = None
+    extras: Dict[str, int] = field(default_factory=dict)
+
+    # -- derived -----------------------------------------------------------
+
+    @property
+    def unrecoverable(self) -> int:
+        return sum(1 for unit in self.units if not unit.ok)
+
+    @property
+    def compared(self) -> int:
+        return sum(
+            1
+            for mine, theirs in zip(self.units, self.baseline_units)
+            if mine.ok and theirs.ok
+        )
+
+    def mismatches(self) -> List[int]:
+        """Unit indices where both runs succeeded but outcomes differ."""
+        return [
+            mine.index
+            for mine, theirs in zip(self.units, self.baseline_units)
+            if mine.ok and theirs.ok and mine.outcome != theirs.outcome
+        ]
+
+    @property
+    def parity(self) -> bool:
+        """True when every comparable outcome matches the baseline.
+
+        Final state (e.g. account balances) is only comparable when
+        *both* runs completed every unit — a failed unit legitimately
+        leaves different balances behind.
+        """
+        if self.mismatches():
+            return False
+        baseline_clean = all(unit.ok for unit in self.baseline_units)
+        if (
+            baseline_clean
+            and self.unrecoverable == 0
+            and self.finale != self.baseline_finale
+        ):
+            return False
+        return True
+
+    def exit_code(self) -> int:
+        """Non-zero only when the resilient arm failed its promise."""
+        if not self.spec.retry:
+            return 0
+        return 1 if self.unrecoverable or not self.parity else 0
+
+    # -- rendering ---------------------------------------------------------
+
+    def render(self) -> str:
+        spec = self.spec
+        lines = [
+            f"== chaos campaign: {spec.figure} (seed {spec.seed}) ==",
+            f"units: {spec.units}   retries: "
+            + (
+                f"on (max {CAMPAIGN_POLICY.max_attempts} attempts)"
+                if spec.retry
+                else "OFF (control arm)"
+            ),
+            f"faults: {spec.describe_faults()}",
+            "",
+            "recovery report",
+        ]
+        counters = [
+            ("sends", self.stats.get("sends", 0)),
+            ("retries", self.stats.get("retries", 0)),
+            ("deduped resends", self.dedupe_hits),
+            ("failovers", self.stats.get("failovers", 0)),
+            ("breaker opens", self.stats.get("breaker_opens", 0)),
+            ("circuit rejections", self.stats.get("circuit_rejections", 0)),
+            ("degraded grants (server)", self.degraded_server),
+            ("degraded grants (client cache)", self.degraded_client),
+        ]
+        counters.extend(self.extras.items())
+        counters.append(
+            ("unrecoverable", f"{self.unrecoverable} / {spec.units} units")
+        )
+        counters.append(("simulated time", f"{self.sim_seconds:.1f}s"))
+        width = max(len(name) for name, _ in counters) + 2
+        for name, value in counters:
+            lines.append(f"  {name} ".ljust(width + 2, ".") + f" {value}")
+        lines.append("")
+        if self.unrecoverable:
+            failed = [unit for unit in self.units if not unit.ok]
+            lines.append(
+                f"failed units: "
+                + ", ".join(str(unit.index) for unit in failed)
+            )
+            for unit in failed[:5]:
+                lines.append(f"  unit {unit.index}: {unit.error}")
+            lines.append("")
+        mismatched = self.mismatches()
+        if mismatched:
+            lines.append(
+                "parity: FAIL — outcomes diverged from the fault-free "
+                f"baseline at units {mismatched}"
+            )
+        elif not self.parity:
+            lines.append(
+                "parity: FAIL — final state diverged from the fault-free "
+                "baseline"
+            )
+        else:
+            lines.append(
+                f"parity: PASS — {self.compared}/{spec.units} comparable "
+                "unit outcomes match the fault-free baseline"
+            )
+        if spec.retry:
+            lines.append(
+                "verdict: "
+                + (
+                    "all work recovered"
+                    if self.exit_code() == 0
+                    else "RESILIENCE FAILURE"
+                )
+            )
+        else:
+            lines.append(
+                "verdict: control arm — "
+                f"{self.unrecoverable} unit(s) lost without retries"
+            )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Figure workloads
+# ---------------------------------------------------------------------------
+
+
+class _Workload:
+    """One figure's repeatable unit of work on a live realm.
+
+    ``setup`` builds the deployment and warms tickets/sessions (faults
+    are injected only afterwards, mirroring the figures' convention of
+    omitting key-distribution traffic).  ``unit`` performs one
+    application-level exchange and returns a comparable outcome.
+    """
+
+    def setup(self, realm: Realm) -> dict:
+        raise NotImplementedError
+
+    def unit(self, realm: Realm, state: dict, index: int) -> Any:
+        raise NotImplementedError
+
+    def finale(self, realm: Realm, state: dict) -> Any:
+        return None
+
+    def authority(self, realm: Realm, state: dict) -> PrincipalId:
+        """The principal an ``--outage`` window blackholes."""
+        return kdc_principal(realm.realm)
+
+    def degraded_counts(self, state: dict) -> Tuple[int, int]:
+        """(client-cache grants, server-honoured grants) in degraded mode."""
+        return 0, 0
+
+    def extras(self, state: dict) -> Dict[str, int]:
+        return {}
+
+    @staticmethod
+    def _file_server(realm: Realm, docs: int = 5):
+        fs = realm.file_server("files")
+        for k in range(docs):
+            fs.put(f"doc{k}.txt", b"contents of doc %d" % k)
+        return fs
+
+
+class _Fig1(_Workload):
+    """Bearer capability presented anonymously; verification is offline."""
+
+    def setup(self, realm: Realm) -> dict:
+        alice = realm.user("alice")
+        bob = realm.user("bob")
+        fs = self._file_server(realm)
+        fs.grant_owner(alice.principal)
+        creds = alice.kerberos.get_ticket(fs.principal)
+        capability = grant_via_credentials(
+            creds,
+            (
+                Authorized(
+                    entries=tuple(
+                        AuthorizedEntry(f"doc{k}.txt", ("read",))
+                        for k in range(5)
+                    )
+                ),
+            ),
+            realm.clock.now(),
+            rng=alice.kerberos.rng,
+        )
+        client = bob.client_for(fs.principal)
+        client.request("read", "doc0.txt", proxy=capability, anonymous=True)
+        return {"client": client, "capability": capability, "fs": fs}
+
+    def unit(self, realm: Realm, state: dict, index: int) -> Any:
+        reply = state["client"].request(
+            "read",
+            f"doc{index % 5}.txt",
+            proxy=state["capability"],
+            anonymous=True,
+        )
+        return {"data": reply["data"]}
+
+
+class _Fig3(_Workload):
+    """Authorization-server grants with the degraded-mode client cache."""
+
+    def setup(self, realm: Realm) -> dict:
+        fs = self._file_server(realm)
+        authz = realm.authorization_server("authz")
+        fs.acl.add(AclEntry(subject=SinglePrincipal(authz.principal)))
+        user = realm.user("client")
+        authz.database_for(fs.principal).add(
+            AclEntry(
+                subject=SinglePrincipal(user.principal), operations=("read",)
+            )
+        )
+        azc = user.resilient_authorization_client(
+            authz.principal, telemetry=realm.telemetry
+        )
+        client = user.client_for(fs.principal)
+        azc.service.establish_session()
+        warm = azc.authorize(fs.principal, ("read",))
+        client.establish_session()
+        client.request("read", "doc0.txt", proxy=warm)
+        return {"azc": azc, "client": client, "fs": fs, "authz": authz}
+
+    def unit(self, realm: Realm, state: dict, index: int) -> Any:
+        proxy = state["azc"].authorize(state["fs"].principal, ("read",))
+        reply = state["client"].request(
+            "read", f"doc{index % 5}.txt", proxy=proxy
+        )
+        return {"data": reply["data"]}
+
+    def authority(self, realm: Realm, state: dict) -> PrincipalId:
+        return state["authz"].principal
+
+    def degraded_counts(self, state: dict) -> Tuple[int, int]:
+        server_side = sum(
+            1 for record in state["fs"].audit.all() if record.degraded
+        )
+        return state["azc"].degraded_grants, server_side
+
+
+class _Fig4(_Workload):
+    """Delegate cascade alice -> carol -> dave, one fresh chain per unit."""
+
+    def setup(self, realm: Realm) -> dict:
+        alice = realm.user("alice")
+        carol = realm.user("carol")
+        dave = realm.user("dave")
+        fs = self._file_server(realm)
+        fs.grant_owner(alice.principal)
+        state = {
+            "alice": alice,
+            "carol": carol,
+            "dave": dave,
+            "fs": fs,
+            "client": dave.client_for(fs.principal),
+        }
+        state["client"].establish_session()
+        self.unit(realm, state, 0)
+        return state
+
+    def unit(self, realm: Realm, state: dict, index: int) -> Any:
+        alice, carol, dave = state["alice"], state["carol"], state["dave"]
+        fs = state["fs"]
+        now = realm.clock.now()
+        to_carol = grant_via_credentials(
+            alice.kerberos.get_ticket(fs.principal),
+            (Grantee(principals=(carol.principal,)),),
+            now,
+            rng=alice.kerberos.rng,
+        )
+        chain = endorse(
+            to_carol,
+            carol.kerberos.get_ticket(fs.principal),
+            dave.principal,
+            (),
+            now,
+            now + 600.0,
+            rng=carol.kerberos.rng,
+        )
+        reply = state["client"].request(
+            "read", f"doc{index % 5}.txt", proxy=chain
+        )
+        return {"data": reply["data"]}
+
+
+class _Fig5(_Workload):
+    """Cross-bank check clearing; the E2 hop rides the same fabric."""
+
+    def setup(self, realm: Realm) -> dict:
+        payor = realm.user("payor")
+        payee = realm.user("payee")
+        bank_payor = realm.accounting_server("bank-payor")
+        bank_payee = realm.accounting_server("bank-payee")
+        bank_payor.create_account(
+            "payor", payor.principal, {"dollars": 10_000}
+        )
+        bank_payee.create_account("payee", payee.principal)
+        payor_client = payor.accounting_client(bank_payor.principal)
+        payee_client = payee.accounting_client(bank_payee.principal)
+        check = payor_client.write_check(
+            "payor", payee.principal, "dollars", 1
+        )
+        payee_client.deposit_check(check, "payee")
+        return {
+            "payor_client": payor_client,
+            "payee_client": payee_client,
+            "bank_payor": bank_payor,
+            "bank_payee": bank_payee,
+            "payee": payee,
+        }
+
+    def unit(self, realm: Realm, state: dict, index: int) -> Any:
+        amount = 1 + (index % 7)
+        check = state["payor_client"].write_check(
+            "payor", state["payee"].principal, "dollars", amount
+        )
+        result = state["payee_client"].deposit_check(check, "payee")
+        return {"amount": amount, "paid": int(result["paid"])}
+
+    def finale(self, realm: Realm, state: dict) -> Any:
+        return {
+            "payor": state["bank_payor"]
+            .accounts["payor"]
+            .balance("dollars"),
+            "payee": state["bank_payee"]
+            .accounts["payee"]
+            .balance("dollars"),
+        }
+
+
+WORKLOADS: Dict[str, type] = {
+    "fig1": _Fig1,
+    "fig3": _Fig3,
+    "fig4": _Fig4,
+    "fig5": _Fig5,
+}
+
+
+# ---------------------------------------------------------------------------
+# The campaign runner
+# ---------------------------------------------------------------------------
+
+
+def _build(spec: CampaignSpec, faulted: bool) -> Tuple[Realm, _Workload, dict]:
+    """A seeded realm with the workload deployed and warmed.
+
+    ``kill_primary`` campaigns kill the primary *before* any traffic so
+    even ticket warm-up exercises failover.
+    """
+    policy = (
+        CAMPAIGN_POLICY if (spec.retry or not faulted) else NO_RETRY
+    )
+    seed = f"chaos-{spec.figure}-{spec.seed}".encode()
+    realm = Realm(seed=seed, resilience=policy)
+    workload = WORKLOADS[spec.figure]()
+    if faulted and spec.kill_primary:
+        realm.kdc_replica("kdc-standby")
+        realm.network.blackhole(kdc_principal(realm.realm))
+    state = workload.setup(realm)
+    return realm, workload, state
+
+
+def _inject(
+    realm: Realm, workload: _Workload, state: dict, spec: CampaignSpec
+) -> None:
+    network = realm.network
+    if spec.drop_rate:
+        network.set_drop_probability(spec.drop_rate, leg="request")
+    if spec.response_drop_rate:
+        network.set_drop_probability(
+            spec.response_drop_rate, leg="response"
+        )
+    if spec.outage:
+        start, stop = spec.outage
+        now = realm.clock.now()
+        network.blackhole(
+            workload.authority(realm, state),
+            since=now + start,
+            until=now + stop,
+        )
+
+
+def _run_units(
+    realm: Realm, workload: _Workload, state: dict, spec: CampaignSpec
+) -> List[UnitResult]:
+    from repro.clock import SimulatedClock
+
+    results: List[UnitResult] = []
+    for index in range(spec.units):
+        if spec.pacing > 0 and isinstance(realm.clock, SimulatedClock):
+            realm.clock.advance(spec.pacing)
+        try:
+            outcome = workload.unit(realm, state, index)
+        except ReproError as exc:
+            results.append(
+                UnitResult(
+                    index=index,
+                    ok=False,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            )
+        else:
+            results.append(UnitResult(index=index, ok=True, outcome=outcome))
+    return results
+
+
+def run_campaign(spec: CampaignSpec) -> ChaosReport:
+    """Run the baseline and the faulted arm; return the comparison."""
+    if spec.figure not in WORKLOADS:
+        raise ValueError(
+            f"unknown figure {spec.figure!r}; "
+            f"choose from {sorted(WORKLOADS)}"
+        )
+
+    base_realm, base_workload, base_state = _build(spec, faulted=False)
+    baseline_units = _run_units(base_realm, base_workload, base_state, spec)
+    baseline_finale = base_workload.finale(base_realm, base_state)
+
+    realm, workload, state = _build(spec, faulted=True)
+    _inject(realm, workload, state, spec)
+    started = realm.clock.now()
+    units = _run_units(realm, workload, state, spec)
+    finale = workload.finale(realm, state)
+
+    degraded_client, degraded_server = workload.degraded_counts(state)
+    return ChaosReport(
+        spec=spec,
+        units=units,
+        baseline_units=baseline_units,
+        stats=realm.channel.stats.as_dict(),
+        dedupe_hits=sum(cache.hits for cache in realm.dedupe_caches),
+        degraded_client=degraded_client,
+        degraded_server=degraded_server,
+        sim_seconds=realm.clock.now() - started,
+        finale=finale,
+        baseline_finale=baseline_finale,
+        extras=workload.extras(state),
+    )

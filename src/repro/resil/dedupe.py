@@ -1,0 +1,95 @@
+"""Server-side response deduplication: exactly-once over at-least-once.
+
+A retry after a *response*-leg loss resends the request verbatim — but the
+handler already ran, and its side effects (replay-cache registrations,
+ticket issuance, account mutations) are committed; re-running it would be
+rejected as a replay or, worse, double-applied.  The paper's accept-once
+registry solves this for check numbers (§4: a check number is recorded
+"once a check is paid"); :class:`ResponseCache` generalizes it to every
+RPC: the first execution's reply is cached under the request's identity
+and returned for any byte-identical resend.
+
+Only requests stamped with a retry id (``_rid``, added by
+:class:`~repro.resil.channel.ResilientChannel`) participate: the rid is
+what distinguishes a *resend* from a new logical request that happens to
+carry identical bytes (e.g. two ``get-challenge`` calls).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Optional
+
+from repro.clock import Clock
+from repro.encoding.canonical import encode
+from repro.net.message import Message
+
+#: Payload key carrying the channel's per-logical-request retry id.
+RID_KEY = "_rid"
+
+
+class ResponseCache:
+    """Remembers one response per retry id, for a bounded window."""
+
+    def __init__(
+        self,
+        clock: Clock,
+        window: float = 300.0,
+        max_entries: int = 4096,
+    ) -> None:
+        self.clock = clock
+        self.window = window
+        self.max_entries = max_entries
+        #: key -> (expires_at, response payload), insertion-ordered.
+        self._entries: "OrderedDict[bytes, tuple]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key_of(message: Message) -> Optional[bytes]:
+        """The dedupe key, or None when the request carries no retry id.
+
+        The key binds source, message type, and the full payload (rid
+        included), so a rid can never alias across senders or operations
+        and a *different* payload under a reused rid misses the cache.
+        """
+        if RID_KEY not in message.payload:
+            return None
+        return hashlib.sha256(
+            encode(
+                [
+                    str(message.source),
+                    message.msg_type,
+                    message.payload,
+                ]
+            )
+        ).digest()
+
+    def _evict(self, now: float) -> None:
+        while self._entries:
+            key, (expires_at, _) = next(iter(self._entries.items()))
+            if expires_at >= now and len(self._entries) <= self.max_entries:
+                break
+            del self._entries[key]
+
+    def get(self, key: bytes) -> Optional[dict]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        expires_at, response = entry
+        if expires_at < self.clock.now():
+            del self._entries[key]
+            self.misses += 1
+            return None
+        self.hits += 1
+        return response
+
+    def put(self, key: bytes, response: dict) -> None:
+        now = self.clock.now()
+        self._entries[key] = (now + self.window, response)
+        self._evict(now)
+
+    def __len__(self) -> int:
+        return len(self._entries)

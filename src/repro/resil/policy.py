@@ -1,0 +1,140 @@
+"""Retry, timeout, and circuit-breaker policies.
+
+All delay arithmetic runs on the injected clock and all jitter comes from
+an injected :class:`~repro.crypto.rng.Rng`, so a seeded campaign replays
+byte-for-byte — the same determinism contract as the network simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.crypto.rng import Rng
+
+
+@dataclass(frozen=True)
+class Timeout:
+    """How long one attempt may take before the caller gives up.
+
+    The simulated network is synchronous, so a timeout never interrupts a
+    delivery mid-flight; it models the time a client *charges itself* for
+    an attempt that ended in a lost message before trying again.
+    """
+
+    seconds: float = 1.0
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Circuit-breaker tuning: trip threshold and cooldown."""
+
+    #: Consecutive failures before the breaker opens.
+    failure_threshold: int = 3
+    #: Seconds the breaker stays open before allowing a half-open probe.
+    cooldown: float = 30.0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with seeded jitter and per-message-type budgets.
+
+    Attempt ``n`` (0-based) sleeps ``min(base_delay * multiplier**n,
+    max_delay)`` plus up to ``jitter`` of itself, drawn from the caller's
+    rng.  ``budgets`` overrides ``max_attempts`` per message type —
+    idempotent lookups can afford more attempts than heavyweight issuance.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 5.0
+    #: Fraction of the backoff added as random jitter (0 disables).
+    jitter: float = 0.5
+    timeout: Timeout = field(default_factory=Timeout)
+    breaker: BreakerPolicy = field(default_factory=BreakerPolicy)
+    #: Per-message-type attempt budgets, e.g. ``{"as-request": 6}``.
+    budgets: Dict[str, int] = field(default_factory=dict)
+
+    def attempts_for(self, msg_type: str) -> int:
+        """The attempt budget for one message type (>= 1)."""
+        return max(1, self.budgets.get(msg_type, self.max_attempts))
+
+    def delay(self, attempt: int, rng: Optional[Rng] = None) -> float:
+        """Backoff before retry number ``attempt`` (0-based), with jitter."""
+        base = min(
+            self.base_delay * (self.multiplier ** attempt), self.max_delay
+        )
+        if self.jitter <= 0 or rng is None:
+            return base
+        spread = rng.int_below(1_000_000) / 1_000_000.0
+        return base * (1.0 + self.jitter * spread)
+
+
+#: A policy that never retries — the channel becomes a transparent pass-
+#: through (used by chaos campaigns' ``--no-retry`` control arm).
+NO_RETRY = RetryPolicy(max_attempts=1)
+
+
+class CircuitBreaker:
+    """Per-endpoint failure gate: closed → open → half-open → closed.
+
+    * **closed** — requests flow; consecutive failures are counted.
+    * **open** — requests are refused locally (no wire traffic) until
+      ``cooldown`` elapses on the clock.
+    * **half-open** — one probe is allowed through; success closes the
+      breaker, failure re-opens it for another cooldown.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(self, policy: Optional[BreakerPolicy] = None) -> None:
+        self.policy = policy or BreakerPolicy()
+        self.state = self.CLOSED
+        self.failures = 0
+        self.opened_at: Optional[float] = None
+        #: True while the single half-open probe is in flight.
+        self._probing = False
+
+    def allow(self, now: float) -> bool:
+        """May a request proceed at time ``now``?  (May transition state.)"""
+        if self.state == self.CLOSED:
+            return True
+        if self.state == self.OPEN:
+            assert self.opened_at is not None
+            if now >= self.opened_at + self.policy.cooldown:
+                self.state = self.HALF_OPEN
+                self._probing = False
+            else:
+                return False
+        # Half-open: exactly one probe at a time.
+        if self._probing:
+            return False
+        self._probing = True
+        return True
+
+    def half_open_at(self) -> float:
+        """When an open breaker will next admit a probe."""
+        if self.state != self.OPEN or self.opened_at is None:
+            return float("-inf")
+        return self.opened_at + self.policy.cooldown
+
+    def record_success(self) -> None:
+        self.state = self.CLOSED
+        self.failures = 0
+        self.opened_at = None
+        self._probing = False
+
+    def record_failure(self, now: float) -> None:
+        self._probing = False
+        if self.state == self.HALF_OPEN:
+            # The probe failed: straight back to open for another cooldown.
+            self.state = self.OPEN
+            self.opened_at = now
+            return
+        self.failures += 1
+        if self.failures >= self.policy.failure_threshold:
+            self.state = self.OPEN
+            self.opened_at = now

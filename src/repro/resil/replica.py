@@ -1,0 +1,33 @@
+"""Replica groups: N endpoints behind one logical principal.
+
+The paper's protocols name *logical* services — "the" KDC of a realm, "the"
+authorization server an end-server honours.  A :class:`ReplicaGroup` maps
+that logical principal to an ordered list of concrete endpoints sharing
+state (the KDC replicas share a principal database; authorization replicas
+share the per-end-server ACL databases), so a client keeps working when the
+primary is partitioned: the channel tries endpoints in order, skipping any
+whose circuit breaker is open.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.encoding.identifiers import PrincipalId
+
+
+@dataclass
+class ReplicaGroup:
+    """Ordered failover set for one logical principal."""
+
+    logical: PrincipalId
+    endpoints: List[PrincipalId] = field(default_factory=list)
+
+    def add(self, endpoint: PrincipalId) -> None:
+        if endpoint not in self.endpoints:
+            self.endpoints.append(endpoint)
+
+    def candidates(self) -> Tuple[PrincipalId, ...]:
+        """Endpoints in preference order (primary first)."""
+        return tuple(self.endpoints) or (self.logical,)

@@ -101,8 +101,26 @@ class EndServer(Service):
         rng: Optional[Rng] = None,
         telemetry=None,
         cache_config=None,
+        dedupe=None,
+        endpoint: Optional[PrincipalId] = None,
+        authority_monitor: Optional[
+            Callable[[PrincipalId], bool]
+        ] = None,
     ) -> None:
-        super().__init__(principal, network, clock, telemetry=telemetry)
+        super().__init__(
+            principal,
+            network,
+            clock,
+            telemetry=telemetry,
+            dedupe=dedupe,
+            endpoint=endpoint,
+        )
+        #: Degraded-mode hook (§3.1–3.2): called with a verified grantor;
+        #: returning True means that authority is currently unreachable,
+        #: so the grant is honoured — proxies verify offline — but marked
+        #: ``degraded`` in the verification result and the audit trail.
+        #: Typically ``channel.authority_unreachable``.
+        self.authority_monitor = authority_monitor
         self.acl = acl if acl is not None else AccessControlList()
         self._rng = rng or DEFAULT_RNG
         self.ap = ApAcceptor(principal, secret_key, clock, max_skew=max_skew)
@@ -253,6 +271,17 @@ class EndServer(Service):
             verified = self.acceptor.accept(
                 payload["proxy"], context, issuer_mode=self.ISSUER_MODE
             )
+            if self.authority_monitor is not None and self.authority_monitor(
+                verified.grantor
+            ):
+                verified = _dc_replace(verified, degraded=True)
+                self.telemetry.inc(
+                    "resil.degraded_grants_total",
+                    help="Grants honoured while the issuing authority "
+                    "was unreachable (degraded mode).",
+                    service=str(self.principal),
+                    grantor=str(verified.grantor),
+                )
             rights = verified.grantor
             self.audit.record(
                 self.clock.now(), self.principal, verified, operation, target

@@ -24,6 +24,10 @@ from repro.kerberos.client import KerberosClient
 from repro.kerberos.kdc import KeyDistributionCenter
 from repro.net.network import LatencyModel, Network
 from repro.obs.telemetry import NO_TELEMETRY, Telemetry
+from repro.resil.channel import ResilientChannel
+from repro.resil.dedupe import ResponseCache
+from repro.resil.degraded import ResilientAuthorizationClient
+from repro.resil.policy import RetryPolicy
 from repro.services.accounting import AccountingClient, AccountingServer
 from repro.services.authorization import (
     AuthorizationClient,
@@ -50,6 +54,14 @@ class User:
     def authorization_client(self, server: PrincipalId) -> AuthorizationClient:
         return AuthorizationClient(self.kerberos, server)
 
+    def resilient_authorization_client(
+        self, server: PrincipalId, telemetry=None
+    ) -> ResilientAuthorizationClient:
+        """Fig. 3 client with the degraded-mode cache (§3.1–3.2)."""
+        return ResilientAuthorizationClient(
+            self.kerberos, server, telemetry=telemetry
+        )
+
     def group_client(self, server: PrincipalId) -> GroupClient:
         return GroupClient(self.kerberos, server)
 
@@ -71,6 +83,7 @@ class Realm:
         clock: Optional[Clock] = None,
         telemetry: Optional[Telemetry] = None,
         verify_cache=None,
+        resilience=None,
     ) -> None:
         """Build a realm; pass a shared ``network``/``clock`` to co-locate
         several realms on one fabric (see :func:`federation`).  An optional
@@ -80,7 +93,16 @@ class Realm:
         (a :class:`~repro.core.vcache.VerificationCacheConfig`) becomes
         the default ``cache_config`` of every end-server the realm builds —
         pass :data:`~repro.core.vcache.DISABLED_CONFIG` to run the realm
-        with the verification fast path off."""
+        with the verification fast path off.
+
+        ``resilience`` turns on the resilience layer: pass ``True`` for the
+        default :class:`~repro.resil.policy.RetryPolicy` or a policy of
+        your own.  Every client and service is then built on a
+        :class:`~repro.resil.channel.ResilientChannel` (``realm.channel``)
+        — RPCs retry with backoff behind circuit breakers, servers dedupe
+        resends, end servers mark grants degraded while their authority is
+        unreachable, and :meth:`kdc_replica` /
+        :meth:`authorization_replica` register failover replicas."""
         self.rng = Rng(seed=seed)
         self.verify_cache = verify_cache
         if clock is not None:
@@ -105,8 +127,33 @@ class Realm:
         if self.telemetry:
             self.telemetry.bind_clock(self.clock)
         self.realm = realm
+        self.channel: Optional[ResilientChannel] = None
+        if resilience:
+            policy = (
+                resilience
+                if isinstance(resilience, RetryPolicy)
+                else RetryPolicy()
+            )
+            self.channel = ResilientChannel(
+                self.network,
+                policy=policy,
+                rng=self.rng.fork(b"resil"),
+                telemetry=self.telemetry,
+            )
+        #: What clients and services send through: the resilient channel
+        #: when the layer is on, else the bare network.
+        self._fabric = (
+            self.channel if self.channel is not None else self.network
+        )
+        #: Every response cache handed to a service, so chaos reports can
+        #: sum dedupe activity across the deployment.
+        self.dedupe_caches: list = []
         self.kdc = KeyDistributionCenter(
-            self.network, self.clock, realm=realm, rng=self.rng.fork(b"kdc")
+            self._fabric,
+            self.clock,
+            realm=realm,
+            rng=self.rng.fork(b"kdc"),
+            dedupe=self._dedupe_cache(),
         )
         self.users: Dict[str, User] = {}
 
@@ -124,7 +171,7 @@ class Realm:
         agent = KerberosClient(
             principal,
             key,
-            self.network,
+            self._fabric,
             self.clock,
             rng=self.rng.fork(b"user:" + name.encode()),
         )
@@ -138,7 +185,7 @@ class Realm:
         agent = KerberosClient(
             principal,
             key,
-            self.network,
+            self._fabric,
             self.clock,
             rng=self.rng.fork(b"srv:" + name.encode()),
         )
@@ -146,9 +193,21 @@ class Realm:
 
     # ------------------------------------------------------------------
 
+    def _dedupe_cache(self) -> Optional[ResponseCache]:
+        if self.channel is None:
+            return None
+        cache = ResponseCache(self.clock)
+        self.dedupe_caches.append(cache)
+        return cache
+
     def _apply_verify_cache(self, kwargs: dict) -> dict:
         if self.verify_cache is not None:
             kwargs.setdefault("cache_config", self.verify_cache)
+        if self.channel is not None:
+            kwargs.setdefault("dedupe", self._dedupe_cache())
+            kwargs.setdefault(
+                "authority_monitor", self.channel.authority_unreachable
+            )
         return kwargs
 
     def file_server(self, name: str, **kwargs) -> FileServer:
@@ -157,7 +216,7 @@ class Realm:
         return FileServer(
             principal,
             key,
-            self.network,
+            self._fabric,
             self.clock,
             rng=self.rng.fork(b"fs:" + name.encode()),
             **kwargs,
@@ -167,12 +226,12 @@ class Realm:
         principal, key, _ = self._server_identity(name)
         kwargs = self._apply_verify_cache(kwargs)
         return PrintServer(
-            principal, key, self.network, self.clock, **kwargs
+            principal, key, self._fabric, self.clock, **kwargs
         )
 
     def name_server(self, name: str = "nameserver") -> NameServer:
         principal, _, __ = self._server_identity(name)
-        return NameServer(principal, self.network, self.clock)
+        return NameServer(principal, self._fabric, self.clock)
 
     def authorization_server(self, name: str, **kwargs) -> AuthorizationServer:
         principal, key, agent = self._server_identity(name)
@@ -180,7 +239,7 @@ class Realm:
         return AuthorizationServer(
             principal,
             key,
-            self.network,
+            self._fabric,
             self.clock,
             kerberos=agent,
             rng=self.rng.fork(b"authz:" + name.encode()),
@@ -193,7 +252,7 @@ class Realm:
         return GroupServer(
             principal,
             key,
-            self.network,
+            self._fabric,
             self.clock,
             kerberos=agent,
             rng=self.rng.fork(b"grp:" + name.encode()),
@@ -206,12 +265,80 @@ class Realm:
         return AccountingServer(
             principal,
             key,
-            self.network,
+            self._fabric,
             self.clock,
             kerberos=agent,
             rng=self.rng.fork(b"acct:" + name.encode()),
             **kwargs,
         )
+
+    # ------------------------------------------------------------------
+    # Replicas (resilience layer required)
+    # ------------------------------------------------------------------
+
+    def _require_channel(self) -> ResilientChannel:
+        if self.channel is None:
+            raise ValueError(
+                "replicas need the resilience layer: "
+                "build the realm with resilience=True"
+            )
+        return self.channel
+
+    def kdc_replica(self, name: str) -> KeyDistributionCenter:
+        """Stand up a KDC replica behind the realm's logical KDC.
+
+        The replica registers under its own endpoint name but shares the
+        primary's principal database (any replica can issue equivalent
+        tickets) and its response cache (a resend that fails over is
+        still deduplicated).  The channel routes ``kdc@REALM`` traffic to
+        the primary first, then to replicas in registration order.
+        """
+        channel = self._require_channel()
+        endpoint = self.principal(name)
+        replica = KeyDistributionCenter(
+            self._fabric,
+            self.clock,
+            database=self.kdc.database,
+            realm=self.realm,
+            rng=self.rng.fork(b"kdc:" + name.encode()),
+            dedupe=self.kdc.dedupe,
+            endpoint=endpoint,
+        )
+        channel.add_replica(self.kdc.principal, endpoint)
+        return replica
+
+    def authorization_replica(
+        self, primary: AuthorizationServer, name: str
+    ) -> AuthorizationServer:
+        """Stand up an authorization-server replica behind ``primary``.
+
+        The replica serves in the primary's name with the primary's key
+        (tickets clients hold stay valid), and shares its per-end-server
+        databases, sessions, response cache, and audit log.
+        """
+        channel = self._require_channel()
+        endpoint = self.principal(name)
+        replica = AuthorizationServer(
+            primary.principal,
+            self.kdc.database.key_of(primary.principal),
+            self._fabric,
+            self.clock,
+            kerberos=primary.kerberos,
+            default_lifetime=primary.default_lifetime,
+            rng=self.rng.fork(b"authz:" + name.encode()),
+            dedupe=primary.dedupe,
+            endpoint=endpoint,
+            **(
+                {"cache_config": self.verify_cache}
+                if self.verify_cache is not None
+                else {}
+            ),
+        )
+        replica.databases = primary.databases
+        replica.sessions = primary.sessions
+        replica.audit = primary.audit
+        channel.add_replica(primary.principal, endpoint)
+        return replica
 
 
 def federation(

@@ -204,3 +204,101 @@ class TestServiceBase:
 
         Hyphen(SERVER, network, clock)
         assert network.send(ALICE, SERVER, "two-words", {}) == {"ok": True}
+
+
+class TestLegFaults:
+    """Request-leg vs response-leg loss are different failures."""
+
+    def _counting_handler(self):
+        calls = []
+
+        def handler(message: Message) -> dict:
+            calls.append(message.msg_type)
+            return {"ok": True}
+
+        return calls, handler
+
+    def test_response_drop_after_side_effects(self, network):
+        from repro.errors import ResponseDroppedError
+
+        calls, handler = self._counting_handler()
+        network.register(SERVER, handler)
+        network.set_drop_probability(1.0, leg="response")
+        with pytest.raises(ResponseDroppedError):
+            network.send(ALICE, SERVER, "ping", {})
+        # The handler ran — its side effects committed before the loss.
+        assert calls == ["ping"]
+        assert network.metrics.snapshot().dropped == 1
+
+    def test_response_drop_is_a_dropped_message(self, network):
+        """Callers catching MessageDroppedError keep working."""
+        from repro.errors import MessageDroppedError, ResponseDroppedError
+
+        assert issubclass(ResponseDroppedError, MessageDroppedError)
+
+    def test_both_legs(self, network):
+        calls, handler = self._counting_handler()
+        network.register(SERVER, handler)
+        network.set_drop_probability(1.0, leg="both")
+        with pytest.raises(MessageDroppedError):
+            network.send(ALICE, SERVER, "ping", {})
+        # The request leg drops first: the handler never ran.
+        assert calls == []
+
+    def test_bad_leg_rejected(self, network):
+        with pytest.raises(ValueError):
+            network.set_drop_probability(0.5, leg="sideways")
+
+    def test_request_leg_unaffected_by_response_probability(self, network):
+        calls, handler = self._counting_handler()
+        network.register(SERVER, handler)
+        network.set_drop_probability(0.0, leg="response")
+        assert network.send(ALICE, SERVER, "ping", {})["ok"]
+        assert calls == ["ping"]
+
+
+class TestBlackholeWindows:
+    def test_scheduled_window(self, clock, rng):
+        network = Network(clock, rng=rng)
+        network.register(SERVER, echo_handler)
+        now = clock.now()
+        network.blackhole(SERVER, since=now + 10.0, until=now + 20.0)
+        # Before the window opens: traffic flows.
+        assert network.send(ALICE, SERVER, "ping", {})
+        clock.advance(15.0)
+        with pytest.raises(MessageDroppedError):
+            network.send(ALICE, SERVER, "ping", {})
+        # The window closes on its own — no heal() needed.
+        clock.advance(10.0)
+        assert network.send(ALICE, SERVER, "ping", {})
+
+    def test_window_opening_mid_exchange_loses_only_the_reply(
+        self, clock, rng
+    ):
+        from repro.errors import ResponseDroppedError
+
+        network = Network(
+            clock, latency=LatencyModel(base=0.5, jitter=0.0), rng=rng
+        )
+        calls = []
+
+        def handler(message: Message) -> dict:
+            calls.append(clock.now())
+            return {"ok": True}
+
+        network.register(SERVER, handler)
+        # The partition starts after the request arrives but before the
+        # reply makes it back: the server did the work, the client never
+        # hears about it.
+        network.blackhole(SERVER, since=clock.now() + 0.75)
+        with pytest.raises(ResponseDroppedError):
+            network.send(ALICE, SERVER, "ping", {})
+        assert len(calls) == 1
+
+    def test_heal_clears_scheduled_window(self, clock, rng):
+        network = Network(clock, rng=rng)
+        network.register(SERVER, echo_handler)
+        network.blackhole(SERVER, since=clock.now() + 5.0)
+        network.heal(SERVER)
+        clock.advance(10.0)
+        assert network.send(ALICE, SERVER, "ping", {})

@@ -1,0 +1,208 @@
+"""The resilient channel: retries, dedupe, breakers, failover."""
+
+import pytest
+
+from repro.clock import SystemClock
+from repro.encoding.identifiers import PrincipalId
+from repro.errors import (
+    CircuitOpenError,
+    MessageDroppedError,
+    RetriesExhaustedError,
+)
+from repro.net import LatencyModel, Network
+from repro.net.message import Message
+from repro.net.service import Service
+from repro.resil import (
+    ResilientChannel,
+    ResponseCache,
+    RetryPolicy,
+    Timeout,
+)
+from repro.resil.dedupe import RID_KEY
+from repro.resil.policy import BreakerPolicy
+
+ALICE = PrincipalId("alice")
+SERVER = PrincipalId("server")
+REPLICA = PrincipalId("server-2")
+
+
+class PingService(Service):
+    """Counts how many times each operation actually executed."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.calls = 0
+
+    def op_ping(self, message: Message) -> dict:
+        self.calls += 1
+        return {"pong": self.calls}
+
+
+@pytest.fixture
+def network(clock, rng):
+    return Network(clock, rng=rng)
+
+
+def make_channel(network, **policy_kwargs):
+    policy_kwargs.setdefault("timeout", Timeout(seconds=1.0))
+    return ResilientChannel(network, policy=RetryPolicy(**policy_kwargs))
+
+
+class TestRetries:
+    def test_recovers_from_a_transient_outage(self, network, clock):
+        channel = make_channel(network, max_attempts=6, jitter=0.0)
+        service = PingService(SERVER, network, clock)
+        # The outage outlasts the first attempts but not the budget: the
+        # charged timeouts + backoff walk the clock past the window.
+        network.blackhole(SERVER, until=clock.now() + 2.5)
+        reply = channel.send(ALICE, SERVER, "ping", {})
+        assert reply["pong"] == 1
+        assert service.calls == 1
+        assert channel.stats.retries >= 1
+        assert channel.stats.exhausted == 0
+
+    def test_exhausts_and_reports_attempts(self, network, clock):
+        channel = make_channel(network, max_attempts=2)
+        PingService(SERVER, network, clock)
+        network.blackhole(SERVER)
+        with pytest.raises(RetriesExhaustedError) as excinfo:
+            channel.send(ALICE, SERVER, "ping", {})
+        assert excinfo.value.attempts == 2
+        assert channel.stats.exhausted == 1
+        assert isinstance(excinfo.value.__cause__, MessageDroppedError)
+
+    def test_service_errors_are_not_retried(self, network, clock):
+        from repro.net.message import is_error
+
+        channel = make_channel(network, max_attempts=5)
+        PingService(SERVER, network, clock)
+        reply = channel.send(ALICE, SERVER, "no-such-op", {})
+        # The error travelled as a successful response: no retries.
+        assert is_error(reply)
+        assert channel.stats.retries == 0
+
+    def test_message_type_budgets(self, network, clock):
+        channel = make_channel(
+            network, max_attempts=1, budgets={"ping": 3}
+        )
+        PingService(SERVER, network, clock)
+        network.blackhole(SERVER)
+        with pytest.raises(RetriesExhaustedError) as excinfo:
+            channel.send(ALICE, SERVER, "ping", {})
+        assert excinfo.value.attempts == 3
+
+
+class TestReplaySafety:
+    def test_lost_reply_resend_is_deduplicated(self, clock, rng):
+        network = Network(
+            clock, latency=LatencyModel(base=0.25, jitter=0.0), rng=rng
+        )
+        channel = make_channel(network, max_attempts=4, jitter=0.0)
+        cache = ResponseCache(clock)
+        service = PingService(SERVER, network, clock, dedupe=cache)
+        # The reply of the first attempt is lost mid-exchange; the resend
+        # must not run the handler twice.
+        network.blackhole(SERVER, since=clock.now() + 0.4, until=clock.now() + 1.2)
+        reply = channel.send(ALICE, SERVER, "ping", {})
+        assert reply["pong"] == 1
+        assert service.calls == 1
+        assert cache.hits == 1
+
+    def test_distinct_logical_sends_get_distinct_rids(self, network, clock):
+        channel = make_channel(network)
+        cache = ResponseCache(clock)
+        seen = []
+        service = PingService(SERVER, network, clock, dedupe=cache)
+        network.add_tap(
+            lambda message: message.destination == SERVER
+            and seen.append(message.payload[RID_KEY])
+        )
+        assert channel.send(ALICE, SERVER, "ping", {})["pong"] == 1
+        assert channel.send(ALICE, SERVER, "ping", {})["pong"] == 2
+        assert service.calls == 2
+        assert cache.hits == 0
+        assert len(set(seen)) == 2
+
+    def test_unstamped_messages_bypass_the_cache(self, network, clock):
+        cache = ResponseCache(clock)
+        service = PingService(SERVER, network, clock, dedupe=cache)
+        network.send(ALICE, SERVER, "ping", {})
+        network.send(ALICE, SERVER, "ping", {})
+        assert service.calls == 2
+        assert cache.hits == 0
+
+
+class TestFailover:
+    def test_routes_to_replica_when_primary_breaker_opens(
+        self, network, clock
+    ):
+        channel = make_channel(network, max_attempts=6, jitter=0.0)
+        cache = ResponseCache(clock)
+        primary = PingService(SERVER, network, clock, dedupe=cache)
+        replica = PingService(
+            REPLICA, network, clock, dedupe=cache, endpoint=REPLICA
+        )
+        channel.add_replica(SERVER, REPLICA)
+        network.blackhole(SERVER)
+        reply = channel.send(ALICE, SERVER, "ping", {})
+        assert reply["pong"] == 1
+        assert replica.calls == 1
+        assert primary.calls == 0
+        assert channel.stats.failovers >= 1
+        assert channel.stats.breaker_opens == 1
+
+    def test_primary_preferred_when_healthy(self, network, clock):
+        channel = make_channel(network)
+        primary = PingService(SERVER, network, clock)
+        replica = PingService(REPLICA, network, clock, endpoint=REPLICA)
+        channel.add_replica(SERVER, REPLICA)
+        channel.send(ALICE, SERVER, "ping", {})
+        assert primary.calls == 1
+        assert replica.calls == 0
+        assert channel.stats.failovers == 0
+
+
+class TestBreakers:
+    def test_authority_unreachable_tracks_breaker_state(
+        self, network, clock
+    ):
+        channel = make_channel(network, max_attempts=4, jitter=0.0)
+        PingService(SERVER, network, clock)
+        assert not channel.authority_unreachable(SERVER)
+        network.blackhole(SERVER)
+        with pytest.raises(RetriesExhaustedError):
+            channel.send(ALICE, SERVER, "ping", {})
+        assert channel.authority_unreachable(SERVER)
+        # Past the cooldown the breaker would admit a probe again.
+        clock.advance(60.0)
+        assert not channel.authority_unreachable(SERVER)
+
+    def test_open_breaker_fails_fast_on_a_real_clock(self):
+        clock = SystemClock()
+        network = Network(clock)
+        channel = ResilientChannel(
+            network,
+            policy=RetryPolicy(
+                max_attempts=1,
+                breaker=BreakerPolicy(failure_threshold=1, cooldown=60.0),
+            ),
+        )
+        PingService(SERVER, network, clock)
+        network.blackhole(SERVER)
+        with pytest.raises(RetriesExhaustedError):
+            channel.send(ALICE, SERVER, "ping", {})
+        # The breaker is open and a real clock cannot be advanced: the
+        # next send is refused locally, without touching the wire.
+        with pytest.raises(CircuitOpenError):
+            channel.send(ALICE, SERVER, "ping", {})
+        assert channel.stats.circuit_rejections >= 1
+
+
+class TestNetworkSurface:
+    def test_delegates_everything_else_to_the_network(self, network, clock):
+        channel = make_channel(network)
+        PingService(SERVER, network, clock)
+        assert channel.knows(SERVER)
+        before = channel.metrics.snapshot().messages
+        channel.send(ALICE, SERVER, "ping", {})
+        assert channel.metrics.snapshot().messages == before + 2

@@ -1,0 +1,110 @@
+"""Retry policies, timeouts, and the circuit-breaker state machine."""
+
+import pytest
+
+from repro.crypto.rng import Rng
+from repro.resil import (
+    NO_RETRY,
+    BreakerPolicy,
+    CircuitBreaker,
+    RetryPolicy,
+    Timeout,
+)
+
+
+class TestRetryPolicy:
+    def test_defaults(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 4
+        assert policy.timeout == Timeout()
+        assert policy.breaker == BreakerPolicy()
+
+    def test_backoff_is_exponential_and_capped(self):
+        policy = RetryPolicy(
+            base_delay=0.1, multiplier=2.0, max_delay=0.5, jitter=0.0
+        )
+        delays = [policy.delay(n) for n in range(5)]
+        assert delays[:3] == pytest.approx([0.1, 0.2, 0.4])
+        # Capped at max_delay from attempt 3 on.
+        assert delays[3] == pytest.approx(0.5)
+        assert delays[4] == pytest.approx(0.5)
+
+    def test_jitter_stays_within_bounds_and_is_seeded(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, jitter=0.5)
+        first = [policy.delay(0, Rng(seed=b"j")) for _ in range(10)]
+        second = [policy.delay(0, Rng(seed=b"j")) for _ in range(10)]
+        assert first == second  # same seed, same jitter
+        for value in first:
+            assert 1.0 <= value <= 1.5
+
+    def test_no_rng_means_no_jitter(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, jitter=0.5)
+        assert policy.delay(0) == pytest.approx(1.0)
+
+    def test_budgets_override_per_message_type(self):
+        policy = RetryPolicy(max_attempts=4, budgets={"as-request": 7})
+        assert policy.attempts_for("as-request") == 7
+        assert policy.attempts_for("request") == 4
+
+    def test_budget_floor_is_one_attempt(self):
+        policy = RetryPolicy(budgets={"request": 0})
+        assert policy.attempts_for("request") == 1
+
+    def test_no_retry_sentinel(self):
+        assert NO_RETRY.max_attempts == 1
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(BreakerPolicy(failure_threshold=3))
+        for _ in range(2):
+            breaker.record_failure(0.0)
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure(0.0)
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow(0.0)
+
+    def test_success_resets_the_count(self):
+        breaker = CircuitBreaker(BreakerPolicy(failure_threshold=3))
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.0)
+        breaker.record_success()
+        breaker.record_failure(0.0)
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_after_cooldown_single_probe(self):
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=1, cooldown=10.0)
+        )
+        breaker.record_failure(100.0)
+        assert breaker.half_open_at() == pytest.approx(110.0)
+        assert not breaker.allow(105.0)
+        assert breaker.allow(110.0)  # the probe
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        # Only one probe may be in flight.
+        assert not breaker.allow(110.0)
+
+    def test_probe_success_closes(self):
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=1, cooldown=10.0)
+        )
+        breaker.record_failure(0.0)
+        assert breaker.allow(10.0)
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow(10.0)
+
+    def test_probe_failure_reopens_for_another_cooldown(self):
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=1, cooldown=10.0)
+        )
+        breaker.record_failure(0.0)
+        assert breaker.allow(10.0)
+        breaker.record_failure(10.0)
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.half_open_at() == pytest.approx(20.0)
+        assert not breaker.allow(15.0)
+        assert breaker.allow(20.0)
+
+    def test_closed_breaker_has_no_half_open_time(self):
+        assert CircuitBreaker().half_open_at() == float("-inf")
