@@ -1,0 +1,145 @@
+"""C10 — ledger: seeded fuzz campaigns under conservation invariants.
+
+One campaign per bank topology (2-bank direct clearing, 3-bank with a
+routed ``collect-check`` hop), each driving the full accounting surface
+— checks, endorsement cascades, certified and cashier's checks,
+replays, malformed arguments — and asserting after every episode that
+
+* funds are conserved globally (non-settlement totals never change), and
+* every bank's live account state matches its ledger-derived balances.
+
+The 2-bank campaign also runs with request/response fault injection, so
+the invariants are exercised under retries and dedupe.  Throughput
+(postings applied per wall second) is reported alongside the verdict.
+
+Run under pytest for the in-suite assertion, or as a script::
+
+    PYTHONPATH=src python benchmarks/bench_ledger_fuzz.py \
+        --json BENCH_ledger.json --smoke
+
+The script exits non-zero if any campaign records a violation.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.ledger.fuzz import run_fuzz
+
+SEED = 7
+FULL_EPISODES = 400
+SMOKE_EPISODES = 120
+
+
+def run_arm(seed: int, episodes: int, banks: int, faults: bool) -> dict:
+    start = time.perf_counter()
+    report = run_fuzz(seed=seed, episodes=episodes, banks=banks, faults=faults)
+    elapsed = time.perf_counter() - start
+    summary = report.summary()
+    summary["wall_seconds"] = round(elapsed, 3)
+    summary["postings_per_sec"] = (
+        round(report.postings_applied / elapsed, 1) if elapsed > 0 else 0.0
+    )
+    summary["episodes_per_sec"] = (
+        round(report.episodes / elapsed, 1) if elapsed > 0 else 0.0
+    )
+    return summary
+
+
+def run_sweep(episodes: int) -> dict:
+    from conftest import report as table
+
+    arms = [
+        run_arm(SEED, episodes, banks=2, faults=False),
+        run_arm(SEED + 1, episodes, banks=3, faults=False),
+        run_arm(SEED + 2, episodes, banks=2, faults=True),
+    ]
+    rows = [
+        (
+            f"{arm['banks']} banks"
+            + (" + faults" if arm["faults"] else ""),
+            arm["episodes"],
+            arm["accepted"],
+            arm["rejected"],
+            arm["postings_applied"],
+            arm["postings_rolled_back"],
+            f"{arm['postings_per_sec']:.0f}",
+            arm["conservation"],
+        )
+        for arm in arms
+    ]
+    table(
+        "C10: accounting fuzz campaigns (seeded; invariants checked "
+        "every episode)",
+        rows,
+        (
+            "topology",
+            "episodes",
+            "accepted",
+            "rejected",
+            "postings",
+            "rolled back",
+            "postings/s",
+            "conservation",
+        ),
+    )
+    return {
+        "benchmark": "ledger-fuzz",
+        "workload": "accounting-surface-fuzz",
+        "seed": SEED,
+        "episodes_per_campaign": episodes,
+        "passed": all(arm["conservation"] == "ok" for arm in arms),
+        "arms": arms,
+    }
+
+
+# ---------------------------------------------------------------------------
+# pytest entry point
+# ---------------------------------------------------------------------------
+
+def test_fuzz_campaigns_conserve_funds(benchmark):
+    arm = run_arm(SEED, 60, banks=2, faults=False)
+    assert arm["conservation"] == "ok", arm["violations"]
+    assert arm["postings_applied"] > 0
+    benchmark(lambda: None)
+
+
+# ---------------------------------------------------------------------------
+# script mode (CI writes BENCH_ledger.json from here)
+# ---------------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--json", default="", help="write results to this JSON file"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fewer episodes per campaign (CI)",
+    )
+    parser.add_argument(
+        "--episodes",
+        type=int,
+        default=None,
+        help=f"episodes per campaign (default {FULL_EPISODES}, or "
+        f"{SMOKE_EPISODES} with --smoke)",
+    )
+    args = parser.parse_args(argv)
+    episodes = (
+        args.episodes
+        if args.episodes is not None
+        else (SMOKE_EPISODES if args.smoke else FULL_EPISODES)
+    )
+    payload = run_sweep(episodes)
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    print(text)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    return 0 if payload["passed"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,12 @@ Prometheus metrics the run produced.
 the same figure workloads on the resilience layer and prints a recovery
 report — retries, failovers, dedupe, degraded grants — plus a parity
 verdict against a fault-free baseline.
+
+``python -m repro fuzz`` drives a seeded random workload across the
+whole accounting surface (checks, endorsement cascades, certified and
+cashier's checks, malformed arguments; ``--faults`` adds network fault
+injection) and asserts the ledger's conservation invariants after every
+episode.  Exits non-zero on any violation.
 """
 
 from __future__ import annotations
@@ -193,6 +199,47 @@ def chaos(args) -> int:
     return report.exit_code()
 
 
+def fuzz(args) -> int:
+    """Run one seeded accounting fuzz campaign; non-zero on violation."""
+    import json
+
+    from repro.ledger.fuzz import run_fuzz
+
+    report = run_fuzz(
+        seed=args.seed,
+        episodes=args.episodes,
+        banks=args.banks,
+        faults=args.faults,
+    )
+    summary = report.summary()
+    print(
+        f"fuzz: seed={report.seed} banks={report.banks} "
+        f"faults={'on' if report.faults else 'off'}"
+    )
+    print(
+        f"  episodes: {report.episodes} "
+        f"({report.accepted} accepted, {report.rejected} rejected)"
+    )
+    ops = ", ".join(
+        f"{name}={count}" for name, count in sorted(report.op_counts.items())
+    )
+    print(f"  operations: {ops}")
+    print(
+        f"  postings: {report.postings_applied} applied, "
+        f"{report.postings_rolled_back} rolled back, "
+        f"{report.postings_deduped} deduped"
+    )
+    print(f"  conservation: {summary['conservation']}")
+    for violation in report.violations:
+        print(f"  VIOLATION: {violation}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"  wrote {args.json}")
+    return 0 if report.ok else 1
+
+
 def main(argv=None) -> None:
     from repro.obs.figures import FIGURES
 
@@ -261,7 +308,37 @@ def main(argv=None) -> None:
         action="store_true",
         help="stand up a KDC replica and kill the primary outright",
     )
+    fuzz_parser = sub.add_parser(
+        "fuzz",
+        help="fuzz the accounting surface under conservation invariants",
+    )
+    fuzz_parser.add_argument(
+        "--seed", type=int, default=7, help="campaign seed (default 7)"
+    )
+    fuzz_parser.add_argument(
+        "--episodes",
+        type=int,
+        default=200,
+        help="random episodes to run (default 200)",
+    )
+    fuzz_parser.add_argument(
+        "--banks",
+        type=int,
+        default=2,
+        help="accounting servers in the realm (default 2; 3 adds a "
+        "routed collect-check hop)",
+    )
+    fuzz_parser.add_argument(
+        "--faults",
+        action="store_true",
+        help="inject request/response drops under the resilience layer",
+    )
+    fuzz_parser.add_argument(
+        "--json", default="", help="write the campaign summary to a file"
+    )
     args = parser.parse_args(argv)
+    if args.command == "fuzz":
+        raise SystemExit(fuzz(args))
     if args.command == "chaos":
         raise SystemExit(chaos(args))
     if args.command == "trace":

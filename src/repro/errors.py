@@ -142,6 +142,14 @@ class DuplicateCheckError(AccountingError):
     """A check with a previously-seen number was presented again (§4)."""
 
 
+class LedgerError(AccountingError):
+    """A posting is malformed or cannot be applied to the ledger."""
+
+
+class ConservationError(LedgerError):
+    """A posting would create or destroy funds (debits != credits)."""
+
+
 class CheckError(AccountingError):
     """A check is malformed, misdrawn, or improperly endorsed."""
 

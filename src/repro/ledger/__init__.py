@@ -1,0 +1,49 @@
+"""Transactional ledger core for the accounting service (§4, hardened).
+
+Every balance change on an accounting server is a multi-leg
+:class:`~repro.ledger.posting.Posting` applied through a
+:class:`~repro.ledger.ledger.Ledger`: all-or-nothing, journaled,
+conservation-checked per posting, and idempotent under the resilience
+layer's retry ids.  ``repro.ledger.fuzz`` drives the whole accounting
+surface with seeded random workloads — including malformed arguments and
+network fault injection — and asserts the global conservation invariant
+after every episode.
+"""
+
+from repro.ledger.accounts import Account, Hold
+from repro.ledger.ledger import Ledger, PostingRecord
+from repro.ledger.posting import (
+    AVAILABLE,
+    CREDIT,
+    DEBIT,
+    HOLD,
+    INBOUND,
+    MINT,
+    TRANSFER,
+    Leg,
+    Posting,
+    credit,
+    debit,
+    place_hold,
+    release_hold,
+)
+
+__all__ = [
+    "Account",
+    "Hold",
+    "Ledger",
+    "PostingRecord",
+    "Leg",
+    "Posting",
+    "credit",
+    "debit",
+    "place_hold",
+    "release_hold",
+    "AVAILABLE",
+    "HOLD",
+    "DEBIT",
+    "CREDIT",
+    "TRANSFER",
+    "MINT",
+    "INBOUND",
+]

@@ -29,12 +29,20 @@ Implemented flows:
   out of an account when the resource is allocated and transferring the
   funds back when the resource is released": ``transfer`` moves funds
   between accounts under the account ACL.
+
+Every balance change goes through the server's
+:class:`~repro.ledger.ledger.Ledger` as a multi-leg posting: all-or-nothing
+with journal rollback, conservation-checked per posting, and idempotent
+under the resilience layer's retry ids.  Each RPC runs inside one ledger
+transaction that also encloses the accept-once registry transaction, so
+check-number consumption, hold lifecycle, and settlement credits commit or
+abort together — a failure mid-operation can no longer destroy or
+duplicate funds (see ``docs/accounting.md``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from repro.acl import AccessControlList, AclEntry, SinglePrincipal
 from repro.clock import Clock
@@ -61,6 +69,19 @@ from repro.kerberos.proxy_support import (
     endorse,
     grant_via_credentials,
 )
+from repro.ledger import (
+    INBOUND,
+    MINT,
+    Account,
+    Hold,
+    Ledger,
+    Posting,
+    place_hold,
+    release_hold,
+)
+from repro.ledger import credit as credit_leg
+from repro.ledger import debit as debit_leg
+from repro.net.message import Message
 from repro.net.network import Network
 from repro.services.authorization import (
     open_proxy_delivery,
@@ -84,51 +105,14 @@ SETTLEMENT_PREFIX = "settlement:"
 #: leaves the details as an exercise; this is our answer).
 CASHIER_ACCOUNT = "cashier"
 
-
-@dataclass
-class Hold:
-    """Funds reserved for an outstanding certified check (§4)."""
-
-    check_number: str
-    currency: str
-    amount: int
-    payee: PrincipalId
-    expires_at: float
-
-
-@dataclass
-class Account:
-    """One account: name, ACL, balances, and holds (§4)."""
-
-    name: str
-    owner: PrincipalId
-    acl: AccessControlList = field(default_factory=AccessControlList)
-    balances: Dict[str, int] = field(default_factory=dict)
-    holds: Dict[str, Hold] = field(default_factory=dict)
-
-    def balance(self, currency: str) -> int:
-        return self.balances.get(currency, 0)
-
-    def credit(self, currency: str, amount: int) -> None:
-        if amount < 0:
-            raise AccountingError("credit amount must be non-negative")
-        self.balances[currency] = self.balance(currency) + amount
-
-    def debit(self, currency: str, amount: int) -> None:
-        if amount < 0:
-            raise AccountingError("debit amount must be non-negative")
-        available = self.balance(currency)
-        if available < amount:
-            raise InsufficientFundsError(
-                f"account {self.name}: {available} {currency} available, "
-                f"{amount} required"
-            )
-        self.balances[currency] = available - amount
-
-    def held_total(self, currency: str) -> int:
-        return sum(
-            h.amount for h in self.holds.values() if h.currency == currency
-        )
+__all__ = [
+    "Account",
+    "AccountingClient",
+    "AccountingServer",
+    "CASHIER_ACCOUNT",
+    "Hold",
+    "SETTLEMENT_PREFIX",
+]
 
 
 class AccountingServer(EndServer):
@@ -142,6 +126,7 @@ class AccountingServer(EndServer):
         clock: Clock,
         kerberos: KerberosClient,
         default_lifetime: float = 3600.0,
+        max_hold_lifetime: float = 7 * 86400.0,
         rng: Optional[Rng] = None,
         cache_config=None,
         **kwargs,
@@ -167,7 +152,19 @@ class AccountingServer(EndServer):
             )
         self.kerberos = kerberos
         self.default_lifetime = default_lifetime
+        #: Upper bound on how far in the future a client-supplied
+        #: ``expires_at`` may place a certified-check hold (or date a
+        #: cashier's check): without it, funds could be locked arbitrarily
+        #: far past any check's useful life.
+        self.max_hold_lifetime = max_hold_lifetime
         self.accounts: Dict[str, Account] = {}
+        #: All balance mutations flow through here (see module docstring).
+        self.ledger = Ledger(
+            self.accounts,
+            clock,
+            telemetry=self.telemetry,
+            server=str(principal),
+        )
         #: Routing for multi-hop clearing: payor server -> next hop.
         #: Absent entries mean "contact directly".
         self.routes: Dict[PrincipalId, PrincipalId] = {}
@@ -190,6 +187,18 @@ class AccountingServer(EndServer):
         self.create_account(CASHIER_ACCOUNT, self.principal)
 
     # ------------------------------------------------------------------
+    # Transaction scope
+    # ------------------------------------------------------------------
+
+    def op_request(self, message: Message) -> dict:
+        """One unified transaction per RPC: the ledger scope encloses the
+        accept-once registry scope (opened by the superclass), so a failure
+        anywhere — verification, authorization, or mid-posting — unwinds
+        check-number registrations *and* balance changes together."""
+        with self.ledger.transaction():
+            return super().op_request(message)
+
+    # ------------------------------------------------------------------
     # Account plumbing
     # ------------------------------------------------------------------
 
@@ -209,14 +218,34 @@ class AccountingServer(EndServer):
             entries=[AclEntry(subject=SinglePrincipal(owner))]
         )
         account = Account(name=name, owner=owner, acl=acl)
-        for currency, amount in (initial or {}).items():
-            account.credit(currency, amount)
+        seed = Posting(
+            legs=tuple(
+                credit_leg(name, currency, int(amount))
+                for currency, amount in (initial or {}).items()
+                if int(amount) != 0
+            ),
+            kind=MINT,
+            description=f"open {name}",
+        )
+        if seed.legs:
+            seed.validate()  # reject malformed initial balances pre-insert
         self.accounts[name] = account
+        if seed.legs:
+            self.ledger.post(seed)
         return account
 
     def mint(self, name: str, currency: str, amount: int) -> None:
         """Create funds out of thin air (fixture/central-bank use only)."""
-        self._account(name).credit(currency, amount)
+        account = self._account(name)
+        if amount == 0:
+            return
+        self.ledger.post(
+            Posting(
+                legs=(credit_leg(account.name, currency, int(amount)),),
+                kind=MINT,
+                description=f"mint {currency} into {name}",
+            )
+        )
 
     def _account(self, name: str) -> Account:
         try:
@@ -227,10 +256,23 @@ class AccountingServer(EndServer):
             ) from None
 
     def _settlement_account(self, peer: PrincipalId) -> Account:
+        """The local account holding ``peer``'s inter-server claims.
+
+        A pre-existing account under the settlement name must actually be
+        owned by the peer: otherwise a squatter who somehow created it
+        first would become the silent beneficiary of every future
+        cross-server settlement credit (Fig. 5 E2 hops).
+        """
         name = f"{SETTLEMENT_PREFIX}{peer.name}"
-        if name not in self.accounts:
-            self.create_account(name, owner=peer)
-        return self.accounts[name]
+        account = self.accounts.get(name)
+        if account is None:
+            return self.create_account(name, owner=peer)
+        if account.owner != peer:
+            raise AccountingError(
+                f"settlement account {name!r} is owned by "
+                f"{account.owner}, not the settling peer {peer}"
+            )
+        return account
 
     def _authorize_account(
         self,
@@ -264,6 +306,38 @@ class AccountingServer(EndServer):
         return target[len(ACCOUNT_TARGET_PREFIX):]
 
     # ------------------------------------------------------------------
+    # Boundary validation
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _validate_amount(amount) -> int:
+        """Amounts are positive integers — checked before any mutation.
+
+        Negative amounts used to slip through to the certified-hold path,
+        which deleted the hold and over-credited the remainder before the
+        final credit raised (partial-state corruption).
+        """
+        if (
+            not isinstance(amount, int)
+            or isinstance(amount, bool)
+            or amount <= 0
+        ):
+            raise AccountingError(
+                f"amount must be a positive integer, got {amount!r}"
+            )
+        return amount
+
+    def _validate_expiry(self, expires_at: float) -> float:
+        """Client-supplied expiries must land in a sane, bounded window."""
+        now = self.clock.now()
+        if not (now < expires_at <= now + self.max_hold_lifetime):
+            raise CheckError(
+                f"expires_at {expires_at!r} must fall within "
+                f"{self.max_hold_lifetime:g}s of now"
+            )
+        return expires_at
+
+    # ------------------------------------------------------------------
     # Simple operations
     # ------------------------------------------------------------------
 
@@ -273,6 +347,13 @@ class AccountingServer(EndServer):
                 "opening an account requires an authenticated session"
             )
         name = self._target_account_name(request)
+        if name.startswith(SETTLEMENT_PREFIX) or name == CASHIER_ACCOUNT:
+            # Reserved names: a principal who pre-created
+            # ``settlement:<peer>`` would own its ACL and hijack future
+            # inter-server settlement credits.
+            raise AccountingError(
+                f"account name {name!r} is reserved for the server"
+            )
         self.create_account(name, owner=request.claimant)
         return {"account": self.account_id(name).to_wire()}
 
@@ -296,9 +377,17 @@ class AccountingServer(EndServer):
         self._authorize_account(source, request, "transfer")
         destination = self._account(request.args["to"])
         currency = request.args["currency"]
-        amount = int(request.args["amount"])
-        source.debit(currency, amount)
-        destination.credit(currency, amount)
+        amount = self._validate_amount(int(request.args["amount"]))
+        self.ledger.post(
+            Posting(
+                legs=(
+                    debit_leg(source.name, currency, amount),
+                    credit_leg(destination.name, currency, amount),
+                ),
+                description=f"transfer {source.name} -> {destination.name}",
+            ),
+            dedupe_key=request.request_id,
+        )
         return {
             "from_balance": source.balance(currency),
             "to_balance": destination.balance(currency),
@@ -325,6 +414,13 @@ class AccountingServer(EndServer):
         The proxy framework has already verified the chain: signatures,
         endorsement grantees, the quota against the requested amount, and
         the accept-once check number (rolled back if we raise below).
+
+        The credit destination is resolved *before* any funds move: the
+        seed implementation debited the payor (or consumed the certified
+        hold) first, so an unknown ``credit_account`` raised after the
+        debit and destroyed the funds — the accept-once registry rolled
+        back but the balance did not.  With the ledger the whole clearing
+        is a single posting, atomic either way.
         """
         if request.verified is None:
             raise AuthorizationDenied(
@@ -333,13 +429,34 @@ class AccountingServer(EndServer):
         account = self._account(self._target_account_name(request))
         self._authorize_account(account, request, DEBIT_OPERATION)
         currency = request.args["currency"]
-        amount = int(request.args["amount"])
+        amount = self._validate_amount(int(request.args["amount"]))
         if request.amounts.get(currency, 0) != amount:
             raise CheckError(
                 "declared amounts do not match the requested transfer"
             )
         credit_name = request.args["credit_account"]
         check_number = self._check_number_from(request)
+
+        if credit_name.startswith(SETTLEMENT_PREFIX):
+            # Settlement credits always resolve through the claimant so
+            # ownership is verified — a squatter-created account under the
+            # settlement name must not silently receive the funds.
+            if request.claimant is None or credit_name != (
+                f"{SETTLEMENT_PREFIX}{request.claimant.name}"
+            ):
+                raise CheckError(
+                    f"only the settling peer may be credited at "
+                    f"{credit_name!r}"
+                )
+            destination = self._settlement_account(request.claimant)
+        elif credit_name in self.accounts:
+            destination = self.accounts[credit_name]
+        elif request.claimant is not None:
+            # Presenting server collecting on another's behalf: pay into
+            # its settlement account.
+            destination = self._settlement_account(request.claimant)
+        else:
+            raise CheckError(f"no account {credit_name!r} to credit")
 
         hold = account.holds.get(check_number)
         if hold is not None:
@@ -348,22 +465,27 @@ class AccountingServer(EndServer):
                 raise CheckError(
                     "cleared check does not match its certification"
                 )
-            del account.holds[check_number]
+            legs = [
+                release_hold(
+                    account.name, currency, hold.amount, check_number
+                ),
+                credit_leg(destination.name, currency, amount),
+            ]
             remainder = hold.amount - amount
             if remainder:
-                account.credit(currency, remainder)
+                legs.append(credit_leg(account.name, currency, remainder))
         else:
-            account.debit(currency, amount)
-
-        if credit_name in self.accounts:
-            destination = self.accounts[credit_name]
-        elif request.claimant is not None:
-            # Presenting server collecting on another's behalf: pay into
-            # its settlement account.
-            destination = self._settlement_account(request.claimant)
-        else:
-            raise CheckError(f"no account {credit_name!r} to credit")
-        destination.credit(currency, amount)
+            legs = [
+                debit_leg(account.name, currency, amount),
+                credit_leg(destination.name, currency, amount),
+            ]
+        self.ledger.post(
+            Posting(
+                legs=tuple(legs),
+                description=f"clear check {check_number}",
+            ),
+            dedupe_key=request.request_id,
+        )
         self.telemetry.inc(
             "checks_cleared_total",
             help="Checks cleared at the payor's server, by funding path.",
@@ -457,7 +579,7 @@ class AccountingServer(EndServer):
         bundle = KerberosProxy.from_transferable(request.args["bundle"])
         payor_server = PrincipalId.from_wire(request.args["payor_server"])
         currency = request.args["currency"]
-        amount = int(request.args["amount"])
+        amount = self._validate_amount(int(request.args["amount"]))
 
         if payor_server == self.principal:
             raise CheckError(
@@ -475,7 +597,17 @@ class AccountingServer(EndServer):
             amount,
             float(request.args["expires_at"]),
         )
-        payee_account.credit(currency, int(result["paid"]))
+        paid = int(result["paid"])
+        # The matching debit was booked on the payor's server (inside its
+        # own balanced posting), so locally this is inbound value.
+        self.ledger.post(
+            Posting(
+                legs=(credit_leg(payee_account.name, currency, paid),),
+                kind=INBOUND,
+                description=f"deposit collected from {payor_server}",
+            ),
+            dedupe_key=request.request_id,
+        )
         self.telemetry.inc(
             "checks_deposited_total",
             help="Cross-server deposits accepted for collection (Fig. 5 E1).",
@@ -497,7 +629,7 @@ class AccountingServer(EndServer):
         bundle = KerberosProxy.from_transferable(request.args["bundle"])
         payor_server = PrincipalId.from_wire(request.args["payor_server"])
         currency = request.args["currency"]
-        amount = int(request.args["amount"])
+        amount = self._validate_amount(int(request.args["amount"]))
         result = self._clear_remotely(
             bundle,
             payor_server,
@@ -507,7 +639,18 @@ class AccountingServer(EndServer):
             float(request.args["expires_at"]),
         )
         predecessor = self._settlement_account(request.claimant)
-        predecessor.credit(currency, int(result["paid"]))
+        self.ledger.post(
+            Posting(
+                legs=(
+                    credit_leg(
+                        predecessor.name, currency, int(result["paid"])
+                    ),
+                ),
+                kind=INBOUND,
+                description=f"collection hop toward {payor_server}",
+            ),
+            dedupe_key=request.request_id,
+        )
         return result
 
     # ------------------------------------------------------------------
@@ -533,18 +676,33 @@ class AccountingServer(EndServer):
                 f"check {check_number} is already certified"
             )
         currency = request.args["currency"]
-        amount = int(request.args["amount"])
-        expires_at = float(request.args["expires_at"])
+        amount = self._validate_amount(int(request.args["amount"]))
+        expires_at = self._validate_expiry(
+            float(request.args["expires_at"])
+        )
         payee = PrincipalId.from_wire(request.args["payee"])
         end_server = PrincipalId.from_wire(request.args["end_server"])
 
-        account.debit(currency, amount)  # the hold (§4)
-        account.holds[check_number] = Hold(
-            check_number=check_number,
-            currency=currency,
-            amount=amount,
-            payee=payee,
-            expires_at=expires_at,
+        # The hold (§4): one posting moves the funds from the available
+        # balance into the named hold.  It stays inside this request's
+        # ledger transaction, so a failure issuing the certification proxy
+        # below releases the hold instead of leaking it.
+        self.ledger.post(
+            Posting(
+                legs=(
+                    debit_leg(account.name, currency, amount),
+                    place_hold(
+                        account.name,
+                        currency,
+                        amount,
+                        check_number,
+                        payee,
+                        expires_at,
+                    ),
+                ),
+                description=f"certify check {check_number}",
+            ),
+            dedupe_key=request.request_id,
         )
         restrictions = (
             Authorized(
@@ -590,13 +748,23 @@ class AccountingServer(EndServer):
         account = self._account(request.args["account"])
         self._authorize_account(account, request, DEBIT_OPERATION)
         currency = request.args["currency"]
-        amount = int(request.args["amount"])
-        expires_at = float(request.args["expires_at"])
+        amount = self._validate_amount(int(request.args["amount"]))
+        expires_at = self._validate_expiry(
+            float(request.args["expires_at"])
+        )
         payee = PrincipalId.from_wire(request.args["payee"])
 
         cashier = self._account(CASHIER_ACCOUNT)
-        account.debit(currency, amount)
-        cashier.credit(currency, amount)
+        self.ledger.post(
+            Posting(
+                legs=(
+                    debit_leg(account.name, currency, amount),
+                    credit_leg(cashier.name, currency, amount),
+                ),
+                description=f"cashier's check for {payee}",
+            ),
+            dedupe_key=request.request_id,
+        )
 
         # The server draws on itself: its own credentials for itself root
         # the check, so the payor *is* this accounting server.
@@ -625,8 +793,21 @@ class AccountingServer(EndServer):
             raise CheckError(
                 "cannot cancel a certification before the check expires"
             )
-        del account.holds[check_number]
-        account.credit(hold.currency, hold.amount)
+        self.ledger.post(
+            Posting(
+                legs=(
+                    release_hold(
+                        account.name,
+                        hold.currency,
+                        hold.amount,
+                        check_number,
+                    ),
+                    credit_leg(account.name, hold.currency, hold.amount),
+                ),
+                description=f"cancel certification {check_number}",
+            ),
+            dedupe_key=request.request_id,
+        )
         return {"returned": hold.amount, "currency": hold.currency}
 
 

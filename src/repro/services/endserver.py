@@ -64,6 +64,11 @@ class AuthorizedRequest:
             chain (for issuing servers to propagate, §7.9).
         session_key: the requester's session key, for replies that must be
             protected from disclosure (Fig. 3's ``{Kproxy}Ksession``).
+        request_id: the resilience layer's retry id (``_rid``) when the
+            request arrived over a :class:`~repro.resil.channel.
+            ResilientChannel`; handlers with idempotent state machines
+            (the accounting ledger) key dedupe on it so a resend that
+            slips past the response cache still cannot double-apply.
     """
 
     operation: str
@@ -76,6 +81,7 @@ class AuthorizedRequest:
     verified: Optional[VerifiedProxy] = None
     presented_restrictions: Tuple = ()
     session_key: Optional[SymmetricKey] = field(default=None, repr=False)
+    request_id: Optional[str] = None
 
 
 Handler = Callable[[AuthorizedRequest], dict]
@@ -370,5 +376,6 @@ class EndServer(Service):
             session_key=(
                 session.session_key if session is not None else None
             ),
+            request_id=payload.get("_rid"),
         )
         return handler(request)

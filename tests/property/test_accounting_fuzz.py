@@ -1,0 +1,126 @@
+"""Property: every accounting operation survives malformed arguments.
+
+Two layers:
+
+* A hypothesis sweep that throws randomized junk arguments at *every*
+  registered accounting operation over a live session, requiring that the
+  server either serves the request or rejects it cleanly — and that
+  conservation and ledger/account audit parity hold afterwards, so a
+  rejection can never be a half-applied mutation.
+* Short seeded campaigns of the full workload fuzzer
+  (:func:`repro.ledger.fuzz.run_fuzz`), the same engine CI runs at larger
+  scale, across both bank topologies and with fault injection.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.ledger.fuzz import non_settlement_totals, run_fuzz
+from repro.services.accounting import SETTLEMENT_PREFIX
+from repro.testbed import Realm
+
+OPERATIONS = [
+    "open-account",
+    "balance",
+    "transfer",
+    "debit",
+    "deposit-check",
+    "collect-check",
+    "certify-check",
+    "cancel-certified-check",
+    "purchase-cashiers-check",
+]
+
+CURRENCIES = ["dollars", "pages"]
+
+#: Junk argument values: wrong types, out-of-range numbers, absent keys.
+junk_value = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-(10**12), 10**12),
+    st.floats(allow_nan=True, allow_infinity=True),
+    st.text(max_size=12),
+    st.sampled_from(
+        ["alice", "bob", "ghost", "cashier", f"{SETTLEMENT_PREFIX}bank"]
+    ),
+    st.lists(st.integers(), max_size=3),
+)
+
+junk_args = st.dictionaries(
+    st.sampled_from(
+        [
+            "account",
+            "to",
+            "currency",
+            "amount",
+            "credit_account",
+            "check_number",
+            "payee",
+            "payor_server",
+            "payor_account",
+            "payee_account",
+            "end_server",
+            "expires_at",
+            "bundle",
+        ]
+    ),
+    junk_value,
+    max_size=6,
+)
+
+call = st.tuples(
+    st.sampled_from(OPERATIONS),
+    st.sampled_from(["account:alice", "account:ghost", None, "junk"]),
+    junk_args,
+)
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(st.lists(call, max_size=6), st.integers(0, 2**32))
+def test_malformed_arguments_never_corrupt_the_books(calls, seed):
+    realm = Realm(seed=b"malformed-%d" % seed)
+    bank = realm.accounting_server("bank")
+    alice = realm.user("alice")
+    bank.create_account(
+        "alice", alice.principal, {c: 500 for c in CURRENCIES}
+    )
+    client = alice.client_for(bank.principal)
+    before = non_settlement_totals([bank])
+
+    for operation, target, args in calls:
+        try:
+            client.request(operation, target=target, args=args)
+        except ReproError:
+            pass  # clean rejection is the expected outcome
+        # Whatever happened, the books must balance and match the ledger.
+        assert non_settlement_totals([bank]) == before
+        assert bank.ledger.audit_discrepancies() == []
+        assert not bank.ledger.in_transaction()
+
+
+def test_fuzz_campaign_two_banks():
+    report = run_fuzz(seed=101, episodes=40, banks=2)
+    assert report.ok, report.violations
+    assert report.accepted > 0 and report.rejected > 0
+    assert report.postings_applied > 0
+
+
+def test_fuzz_campaign_three_banks_routed():
+    report = run_fuzz(seed=202, episodes=40, banks=3)
+    assert report.ok, report.violations
+
+
+def test_fuzz_campaign_with_faults():
+    report = run_fuzz(seed=303, episodes=40, banks=2, faults=True)
+    assert report.ok, report.violations
+
+
+def test_fuzz_is_deterministic():
+    first = run_fuzz(seed=7, episodes=25, banks=2).summary()
+    second = run_fuzz(seed=7, episodes=25, banks=2).summary()
+    assert first == second
