@@ -1,0 +1,150 @@
+"""Telemetry overhead: the fig4 cascade traced vs with ``NO_TELEMETRY``.
+
+The trace-context machinery promises two things at once: every wire
+message carries a traceparent when telemetry is live, and the null
+object costs nearly nothing when it is not.  This benchmark runs the
+complete Fig. 4 protocol (grant, two cascade hops, offline chain
+verification) both ways and gates on the ratio — full tracing (spans,
+span events, trace store indexing, metrics with exemplars) must stay
+under ``--max-overhead`` times the untraced run.
+
+Run under pytest for the timing fixtures, or as a script::
+
+    PYTHONPATH=src python benchmarks/bench_trace_overhead.py \
+        --json BENCH_trace_overhead.json --smoke
+
+The script exits non-zero when the overhead ratio exceeds the ceiling
+(2.5 by default; the CI smoke run keeps the same ceiling — the margin
+is wide enough that shared runners do not flake).
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from conftest import report
+from repro.obs.figures import run_fig4
+from repro.obs.telemetry import NO_TELEMETRY, Telemetry
+
+MAX_OVERHEAD = 2.5
+
+
+def run_traced():
+    """One full fig4 protocol run under live telemetry."""
+    return run_fig4(Telemetry())
+
+
+def run_untraced():
+    """The same run against the null object — the seed-parity path."""
+    return run_fig4(NO_TELEMETRY)
+
+
+def measure(runner, iterations):
+    runner()  # warm imports and first-use caches outside the timing
+    start = time.perf_counter()
+    for _ in range(iterations):
+        runner()
+    elapsed = time.perf_counter() - start
+    return elapsed / iterations
+
+
+def run_comparison(iterations, max_overhead):
+    """Time both arms; returns the JSON payload."""
+    traced = measure(run_traced, iterations)
+    untraced = measure(run_untraced, iterations)
+    overhead = traced / untraced if untraced > 0 else float("inf")
+
+    telemetry = run_fig4(Telemetry())
+    spans = len(telemetry.tracer.spans)
+    events = sum(len(s.events) for s in telemetry.tracer.spans)
+
+    report(
+        "trace overhead: fig4 with full telemetry vs NO_TELEMETRY",
+        [
+            ("untraced", f"{untraced * 1e3:.3f}", "-", "-"),
+            ("traced", f"{traced * 1e3:.3f}", str(spans), str(events)),
+            ("overhead", f"{overhead:.2f}x", "-", "-"),
+        ],
+        ("arm", "ms/run", "spans", "events"),
+    )
+    return {
+        "benchmark": "trace_overhead",
+        "workload": "fig4",
+        "iterations": iterations,
+        "traced_ms_per_run": round(traced * 1e3, 4),
+        "untraced_ms_per_run": round(untraced * 1e3, 4),
+        "overhead": round(overhead, 3),
+        "max_overhead": max_overhead,
+        "spans_per_run": spans,
+        "events_per_run": events,
+        "passed": overhead < max_overhead,
+    }
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points
+# ---------------------------------------------------------------------------
+
+def test_fig4_traced(benchmark):
+    telemetry = benchmark(run_traced)
+    assert len(telemetry.tracer.spans) > 0
+    assert len(telemetry.store) > 0
+
+
+def test_fig4_untraced(benchmark):
+    telemetry = benchmark(run_untraced)
+    assert telemetry is NO_TELEMETRY
+
+
+def test_overhead_within_budget(benchmark):
+    """The acceptance claim, in-suite: a quick comparison run."""
+    payload = run_comparison(iterations=10, max_overhead=MAX_OVERHEAD)
+    assert payload["passed"], (
+        f"telemetry overhead {payload['overhead']}x "
+        f">= {MAX_OVERHEAD}x budget"
+    )
+    benchmark(lambda: None)
+
+
+# ---------------------------------------------------------------------------
+# script mode (CI writes BENCH_trace_overhead.json from here)
+# ---------------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--json", default="", help="write results to this JSON file"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small iteration count for CI",
+    )
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=MAX_OVERHEAD,
+        help=f"fail when traced/untraced exceeds this "
+        f"(default {MAX_OVERHEAD})",
+    )
+    args = parser.parse_args(argv)
+    iterations = 20 if args.smoke else 200
+    payload = run_comparison(iterations, args.max_overhead)
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    print(text)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    if not payload["passed"]:
+        print(
+            f"FAIL: telemetry overhead {payload['overhead']}x "
+            f">= {args.max_overhead}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

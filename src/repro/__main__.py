@@ -5,9 +5,16 @@ With no arguments, runs a condensed end-to-end demonstration of every
 calls each step (for the full walkthroughs see ``examples/``).
 
 ``python -m repro trace <figure>`` replays one of the paper's protocol
-figures (fig1, fig3, fig4, fig5) under live telemetry and prints the
-span tree, the numbered message trace in the figure's notation, and the
-Prometheus metrics the run produced.
+figures (fig1, fig3, fig4, fig5, fig6) under live telemetry and prints
+the span tree, the numbered message trace in the figure's notation, and
+the Prometheus metrics the run produced.  ``--follow TRACE_ID`` renders
+one logical request's causal waterfall instead (trace-id prefixes work,
+like git commits).
+
+``python -m repro forensics --from spans.jsonl`` reloads a ``--jsonl``
+span dump for offline forensics: summarize the traces it contains,
+render one with ``--trace``, or schema-check the dump with
+``--validate`` (the CI trace-smoke gate).
 
 ``python -m repro chaos <figure>`` runs a seeded fault campaign against
 the same figure workloads on the resilience layer and prints a recovery
@@ -126,10 +133,11 @@ def trace(
     jsonl: str = "",
     metrics: bool = True,
     verify_cache: bool = True,
+    follow: str = "",
 ) -> None:
     """Replay one figure under telemetry and print every view of it."""
     from repro.core import vcache
-    from repro.obs import Telemetry
+    from repro.obs import Telemetry, render_trace_waterfall
     from repro.obs.figures import run_figure
 
     config = (
@@ -142,8 +150,32 @@ def trace(
     finally:
         telemetry.release_crypto()
 
+    if follow:
+        trace_id = telemetry.store.resolve(follow)
+        if trace_id is None:
+            known = "\n".join(
+                f"  {t}" for t in telemetry.store.trace_ids()
+            )
+            raise SystemExit(
+                f"no trace matches {follow!r}; {figure} recorded:\n{known}"
+            )
+        print(render_trace_waterfall(telemetry.store.by_trace(trace_id)))
+        if jsonl:
+            with open(jsonl, "w", encoding="utf-8") as handle:
+                handle.write(telemetry.spans_jsonl() + "\n")
+            print(f"\nwrote {len(telemetry.tracer.spans)} spans to {jsonl}")
+        return
+
     print(f"== {figure}: span tree (simulated clock) ==\n")
     print(telemetry.render_tree())
+    print(f"\n== {figure}: traces recorded (follow with --follow ID) ==\n")
+    for trace_id in telemetry.store.trace_ids():
+        spans = telemetry.store.by_trace(trace_id)
+        duration = telemetry.store.duration_of(trace_id)
+        print(
+            f"  {trace_id}  {spans[0].name:<24} "
+            f"{len(spans)} spans  {duration:.4f}s"
+        )
     print(f"\n== {figure}: message trace (figure notation) ==\n")
     print(telemetry.render_message_trace())
     if metrics:
@@ -232,12 +264,76 @@ def fuzz(args) -> int:
     print(f"  conservation: {summary['conservation']}")
     for violation in report.violations:
         print(f"  VIOLATION: {violation}")
+    if report.forensics:
+        print("\nforensic traces (offending episodes):")
+        for dump in report.forensics:
+            print()
+            print(dump)
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(summary, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"  wrote {args.json}")
     return 0 if report.ok else 1
+
+
+def forensics(args) -> int:
+    """Offline forensics over a ``--jsonl`` span dump."""
+    from repro.obs.export import render_trace_waterfall
+    from repro.obs.store import TraceStore, load_spans_jsonl, validate_spans
+
+    try:
+        with open(args.source, "r", encoding="utf-8") as handle:
+            spans = load_spans_jsonl(handle.read())
+    except (OSError, ValueError) as exc:
+        print(f"cannot load {args.source}: {exc}")
+        return 2
+
+    if args.validate:
+        problems = validate_spans(spans)
+        if problems:
+            print(f"{args.source}: {len(problems)} schema violation(s)")
+            for problem in problems:
+                print(f"  {problem}")
+            return 1
+        traces = {s.trace_id for s in spans}
+        print(
+            f"{args.source}: {len(spans)} spans across {len(traces)} "
+            f"trace(s), schema ok"
+        )
+        return 0
+
+    store = TraceStore()
+    store.extend(spans)
+
+    if args.trace:
+        trace_id = store.resolve(args.trace)
+        if trace_id is None:
+            print(f"no trace in {args.source} matches {args.trace!r}")
+            return 1
+        print(render_trace_waterfall(store.by_trace(trace_id)))
+        return 0
+
+    print(f"{args.source}: {len(store)} spans")
+    print("\ntraces (slowest first):")
+    for trace_id, duration in store.slowest(n=len(store.trace_ids())):
+        members = store.by_trace(trace_id)
+        print(
+            f"  {trace_id}  {members[0].name:<24} "
+            f"{len(members)} spans  {duration:.4f}s"
+        )
+    failed = store.failed()
+    if failed:
+        print("\ntraces containing error spans:")
+        for trace_id in failed:
+            print(f"  {trace_id}")
+    principals = store.principals()
+    if principals:
+        print("\nprincipals seen:")
+        for principal in principals:
+            traces = store.by_principal(principal)
+            print(f"  {principal}  ({len(traces)} trace(s))")
+    return 0
 
 
 def main(argv=None) -> None:
@@ -264,6 +360,35 @@ def main(argv=None) -> None:
         "--no-verify-cache",
         action="store_true",
         help="run with the verification fast path disabled",
+    )
+    trace_parser.add_argument(
+        "--follow",
+        default="",
+        metavar="TRACE_ID",
+        help="render one trace's causal waterfall (prefix ok) instead "
+        "of the full report",
+    )
+    forensics_parser = sub.add_parser(
+        "forensics",
+        help="inspect or validate a spans --jsonl dump offline",
+    )
+    forensics_parser.add_argument(
+        "--from",
+        dest="source",
+        required=True,
+        metavar="SPANS.JSONL",
+        help="span dump written by 'trace --jsonl'",
+    )
+    forensics_parser.add_argument(
+        "--trace",
+        default="",
+        metavar="TRACE_ID",
+        help="render this trace's waterfall (prefix ok)",
+    )
+    forensics_parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="schema-check the dump (CI trace-smoke); non-zero on problems",
     )
     chaos_parser = sub.add_parser(
         "chaos",
@@ -341,12 +466,15 @@ def main(argv=None) -> None:
         raise SystemExit(fuzz(args))
     if args.command == "chaos":
         raise SystemExit(chaos(args))
+    if args.command == "forensics":
+        raise SystemExit(forensics(args))
     if args.command == "trace":
         trace(
             args.figure,
             jsonl=args.jsonl,
             metrics=not args.no_metrics,
             verify_cache=not args.no_verify_cache,
+            follow=args.follow,
         )
     else:
         tour()

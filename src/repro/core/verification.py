@@ -558,6 +558,14 @@ class ProxyVerifier:
                     help="Verification cache evictions, by layer.",
                     layer="chain",
                 )
+            if telemetry.enabled and (chain_hits or chain_misses):
+                # Pin the cache outcome to the request being verified so
+                # its trace shows which links the prefix cache absorbed.
+                telemetry.event(
+                    "vcache.chain",
+                    hits=chain_hits,
+                    misses=chain_misses,
+                )
 
         # Stage 3+4: how is the final link exercised?
         final = certs[-1]

@@ -55,6 +55,9 @@ FAULT_REQUEST_DROP = 0.04
 FAULT_RESPONSE_DROP = 0.03
 FAULT_RETRY_ATTEMPTS = 10
 
+#: A violated campaign dumps at most this many episode traces.
+FORENSIC_DUMP_LIMIT = 3
+
 
 @dataclass
 class Actor:
@@ -82,6 +85,9 @@ class FuzzReport:
     postings_rolled_back: int = 0
     postings_deduped: int = 0
     journal_entries: int = 0
+    #: Pre-rendered causal waterfalls of the episodes that broke an
+    #: invariant (forensic auto-dump; at most FORENSIC_DUMP_LIMIT).
+    forensics: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -414,17 +420,39 @@ class _Fuzzer:
         for episode in range(episodes):
             op = self._pick_op()
             report.op_counts[op] = report.op_counts.get(op, 0) + 1
-            try:
-                handlers[op]()
-            except ReproError:
-                # An operation refusing is fine — funds just must not move
-                # (the invariant check below is what catches a half-applied
-                # refusal).  AssertionError is *not* caught: an accepted
-                # malformed op or replay is a real failure.
-                report.rejected += 1
-            else:
-                report.accepted += 1
+            with self.telemetry.run(f"ep-{episode}-{op}") as run_span:
+                trace_id = run_span.trace_id or ""
+                try:
+                    handlers[op]()
+                except ReproError:
+                    # An operation refusing is fine — funds just must not
+                    # move (the invariant check below is what catches a
+                    # half-applied refusal).  AssertionError is *not*
+                    # caught: an accepted malformed op or replay is a real
+                    # failure.
+                    report.rejected += 1
+                else:
+                    report.accepted += 1
+            before = len(report.violations)
             self._check_invariants(episode, op, report)
+            if len(report.violations) > before:
+                # Forensics: name the offending episode's trace in each
+                # violation and dump its full causal history.
+                for i in range(before, len(report.violations)):
+                    report.violations[i] += f" [trace {trace_id}]"
+                if trace_id and len(report.forensics) < FORENSIC_DUMP_LIMIT:
+                    from repro.obs.export import render_trace_waterfall
+
+                    spans = self.telemetry.store.by_trace(trace_id)
+                    if spans:
+                        report.forensics.append(
+                            render_trace_waterfall(spans)
+                        )
+            else:
+                # Clean episode: drop its spans so a long campaign's
+                # memory stays bounded (metrics keep accumulating).
+                self.telemetry.tracer.clear()
+                self.telemetry.store.clear()
             # Spread timestamps so expiry windows and dedupe eviction see
             # motion; drawn from the seeded rng for reproducibility.
             self.realm.clock.advance(self.rng.uniform(0.1, 2.0))

@@ -56,6 +56,10 @@ class PostingRecord:
     posting: Posting
     time: float
     dedupe_key: Optional[str] = None
+    #: Trace id of the request that caused this posting (None without
+    #: telemetry) — the join key from a balance change back to the full
+    #: causal trace of retries, hops, and grants that produced it.
+    trace_id: Optional[str] = None
     #: Legs in the order actually applied, with the state needed to undo
     #: them (the removed Hold object for hold-release legs).
     applied: List[Tuple[object, Optional[Hold]]] = field(default_factory=list)
@@ -126,12 +130,25 @@ class Ledger:
                     "(retry id) was already applied.",
                     server=self.server,
                 )
+                if self.telemetry.enabled:
+                    self.telemetry.event(
+                        "ledger.post.deduped",
+                        server=self.server,
+                        posting_id=prior.posting_id,
+                        kind=posting.kind,
+                        first_trace_id=prior.trace_id,
+                    )
                 return prior
         record = PostingRecord(
             posting_id=self._next_id,
             posting=posting,
             time=self.clock.now(),
             dedupe_key=dedupe_key,
+            trace_id=(
+                self.telemetry.current_trace_id()
+                if self.telemetry.enabled
+                else None
+            ),
         )
         try:
             for leg in sorted(
@@ -160,6 +177,14 @@ class Ledger:
             server=self.server,
             kind=posting.kind,
         )
+        if self.telemetry.enabled:
+            self.telemetry.event(
+                "ledger.post",
+                server=self.server,
+                posting_id=record.posting_id,
+                kind=posting.kind,
+                legs=len(posting.legs),
+            )
         return record
 
     @contextmanager
@@ -285,6 +310,12 @@ class Ledger:
             server=self.server,
             kind=posting.kind,
         )
+        if self.telemetry.enabled:
+            self.telemetry.event(
+                "ledger.rollback",
+                server=self.server,
+                kind=posting.kind,
+            )
 
     def _account_totals(self, posting: Posting, sign: int = 1) -> None:
         if posting.kind == MINT:

@@ -35,6 +35,12 @@ class Message:
             ``"deposit-check"``.
         payload: dict of canonical-encodable values.
         msg_id: unique id for tracing; responses carry ``in_reply_to``.
+        traceparent: W3C-style trace context stamped by the sending
+            network's telemetry.  Envelope metadata like ``msg_id`` — it
+            does not enter the canonical wire encoding, so byte counts
+            are identical with telemetry on or off, and dedupe keys
+            (which hash the payload) are unaffected by resends carrying
+            fresh span ids.
     """
 
     source: PrincipalId
@@ -43,6 +49,7 @@ class Message:
     payload: dict
     msg_id: int = field(default_factory=lambda: next(_msg_counter))
     in_reply_to: Optional[int] = None
+    traceparent: Optional[str] = None
 
     def wire_size(self) -> int:
         """Bytes this message would occupy on a real wire.
@@ -75,6 +82,7 @@ class Message:
             msg_type=msg_type or f"{self.msg_type}-reply",
             payload=payload,
             in_reply_to=self.msg_id,
+            traceparent=self.traceparent,
         )
 
 

@@ -223,18 +223,22 @@ class Network:
             UnknownEndpointError: nothing registered at ``destination``.
             MessageDroppedError: the fault injector ate the request.
         """
-        message = Message(
-            source=source,
-            destination=destination,
-            msg_type=msg_type,
-            payload=payload,
-        )
         with self.telemetry.span(
             "net.send",
             source=str(source),
             destination=str(destination),
             msg_type=msg_type,
         ) as span:
+            # The message is built inside the span so the stamped context
+            # names the net.send span itself: the receiver's rpc.handle
+            # span joins this send as its causal parent.
+            message = Message(
+                source=source,
+                destination=destination,
+                msg_type=msg_type,
+                payload=payload,
+                traceparent=self.telemetry.wire_context(),
+            )
             request_size = self._observe(message)
             span.set(request_bytes=request_size)
             if self._partitioned(destination):

@@ -56,8 +56,12 @@ class Service:
 
     def handle(self, message: Message) -> dict:
         """Dispatch to ``op_<msg_type>``; map library errors to payloads."""
+        # ``remote_context`` only matters when this service's tracer is not
+        # the sender's (e.g. another realm in a federation): with no local
+        # parent on the stack, the handler span adopts the wire trace id.
         with self.telemetry.span(
             "rpc.handle",
+            remote_context=message.traceparent,
             service=str(self.principal),
             msg_type=message.msg_type,
         ) as span:

@@ -7,20 +7,28 @@ goes*.  This package instruments both:
 
 * :mod:`repro.obs.trace` — span-based tracing with parent/child links, so
   one protocol run renders as a single tree;
-* :mod:`repro.obs.metrics` — counters, gauges, and fixed-bucket histograms;
+* :mod:`repro.obs.context` — W3C-traceparent-style :class:`TraceContext`
+  stamped on wire messages, so retries, failovers, cascaded hops, and
+  ledger postings all join on one trace id;
+* :mod:`repro.obs.store` — the :class:`TraceStore`: completed spans
+  indexed by trace id and principal for forensic queries;
+* :mod:`repro.obs.metrics` — counters, gauges, and fixed-bucket histograms
+  with per-bucket trace-id exemplars;
 * :mod:`repro.obs.telemetry` — the :class:`Telemetry` facade threaded
   through the network, services, KDC, and verifier (default
   :data:`NO_TELEMETRY`, a strict no-op);
 * :mod:`repro.obs.export` — JSON-lines traces, Prometheus text exposition,
-  and human-readable trace/figure renderers;
+  and human-readable trace/figure/waterfall renderers;
 * :mod:`repro.obs.figures` — runnable paper-figure protocols for
   ``python -m repro trace <figure>``.
 """
 
+from repro.obs.context import TraceContext, span_hex_id
 from repro.obs.export import (
     prometheus_text,
     render_message_trace,
     render_span_tree,
+    render_trace_waterfall,
     spans_to_jsonl,
 )
 from repro.obs.metrics import (
@@ -31,6 +39,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     SIZE_BUCKETS,
 )
+from repro.obs.store import TraceStore, load_spans_jsonl, validate_spans
 from repro.obs.telemetry import NO_TELEMETRY, NullTelemetry, Telemetry
 from repro.obs.trace import Span, SpanEvent, Tracer
 
@@ -41,6 +50,11 @@ __all__ = [
     "Tracer",
     "Span",
     "SpanEvent",
+    "TraceContext",
+    "TraceStore",
+    "span_hex_id",
+    "load_spans_jsonl",
+    "validate_spans",
     "MetricsRegistry",
     "Counter",
     "Gauge",
@@ -50,5 +64,6 @@ __all__ = [
     "spans_to_jsonl",
     "render_span_tree",
     "render_message_trace",
+    "render_trace_waterfall",
     "prometheus_text",
 ]

@@ -1,0 +1,100 @@
+"""W3C-traceparent-style trace context for wire-level correlation.
+
+The paper's value proposition is *attribution*: every exercised right and
+every spent unit must be traceable to the proxy chain that authorized it
+(§4–§5).  Aggregate counters cannot do that once retries, failovers, and
+cross-server accounting legs enter the picture — per-request causality
+needs an identifier that survives every hop.
+
+A :class:`TraceContext` is that identifier, modelled on the W3C Trace
+Context ``traceparent`` header:
+
+* ``trace_id`` — 32 hex chars naming the *logical request*, shared by
+  every span, resend, failover leg, and ledger posting it causes;
+* ``span_id`` — 16 hex chars naming the span that emitted the context
+  (for a wire message, its ``net.send`` span);
+* ``parent_span_id`` — the emitting span's parent, for causal joins when
+  a consumer sees only the wire.
+
+Contexts are deterministic: trace ids come from the tracer's seeded
+:class:`~repro.crypto.rng.Rng` and span ids derive from the tracer's
+monotonic span counter, so a seeded run always produces the same ids —
+a trace id printed by one run can be ``--follow``\\ ed in the next.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+#: The traceparent version we emit; parsing accepts any two-hex version.
+_VERSION = "00"
+#: Trace flags: always "sampled" — the simulator records every span.
+_FLAGS = "01"
+
+_HEADER = re.compile(
+    r"^(?P<version>[0-9a-f]{2})-(?P<trace_id>[0-9a-f]{32})-"
+    r"(?P<span_id>[0-9a-f]{16})-(?P<flags>[0-9a-f]{2})$"
+)
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One point in a causal trace, serializable as a traceparent header."""
+
+    trace_id: str
+    span_id: str
+    parent_span_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if len(self.trace_id) != 32 or not _is_hex(self.trace_id):
+            raise ValueError(f"trace_id must be 32 hex chars: {self.trace_id!r}")
+        if len(self.span_id) != 16 or not _is_hex(self.span_id):
+            raise ValueError(f"span_id must be 16 hex chars: {self.span_id!r}")
+
+    def to_header(self) -> str:
+        """``version-trace_id-span_id-flags``, the W3C wire form."""
+        return f"{_VERSION}-{self.trace_id}-{self.span_id}-{_FLAGS}"
+
+    @classmethod
+    def parse(cls, header: str) -> "TraceContext":
+        """Parse a traceparent header; raises ``ValueError`` on junk."""
+        match = _HEADER.match(header or "")
+        if match is None:
+            raise ValueError(f"malformed traceparent header: {header!r}")
+        return cls(
+            trace_id=match.group("trace_id"),
+            span_id=match.group("span_id"),
+        )
+
+    @classmethod
+    def try_parse(cls, header: Optional[str]) -> Optional["TraceContext"]:
+        """Parse, or return None — wire input is untrusted."""
+        if not header:
+            return None
+        try:
+            return cls.parse(header)
+        except ValueError:
+            return None
+
+    def child(self, span_id: str) -> "TraceContext":
+        """The context a child span emits: same trace, new span id."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=span_id,
+            parent_span_id=self.span_id,
+        )
+
+
+def _is_hex(value: str) -> bool:
+    try:
+        int(value, 16)
+    except ValueError:
+        return False
+    return value == value.lower()
+
+
+def span_hex_id(span_id: int) -> str:
+    """The 16-hex-char wire form of a tracer's integer span id."""
+    return f"{span_id & 0xFFFFFFFFFFFFFFFF:016x}"

@@ -150,6 +150,23 @@ def render_message_trace(spans: Sequence[Span]) -> str:
             f"{indent}{number:>2}. {attrs.get('source')} -> "
             f"{attrs.get('destination')} : {attrs.get('msg_type')}"
         )
+        # A resend is a send under a resil.attempt span: mark it so the
+        # same logical message on attempt 2+ is not a duplicate line.
+        attempt_parent = by_id.get(span.parent_id)
+        if (
+            attempt_parent is not None
+            and attempt_parent.name == "resil.attempt"
+        ):
+            attempt = attempt_parent.attributes.get("attempt")
+            markers = []
+            if isinstance(attempt, int) and attempt > 1:
+                markers.append(f"attempt {attempt}")
+            if attempt_parent.attributes.get("failover"):
+                markers.append(
+                    f"failover -> {attempt_parent.attributes.get('endpoint')}"
+                )
+            if markers:
+                line += f"  [{', '.join(markers)}]"
         details = []
         if "request_bytes" in attrs:
             details.append(f"req {attrs['request_bytes']} B")
@@ -163,6 +180,78 @@ def render_message_trace(spans: Sequence[Span]) -> str:
             else:
                 line += f"  -- ERROR ({attrs.get('error', '?')})"
         lines.append(line)
+    return "\n".join(lines)
+
+
+def render_trace_waterfall(
+    spans: Sequence[Span], trace_id: Optional[str] = None, width: int = 32
+) -> str:
+    """Per-request causal waterfall: one trace, bars on the simulated clock.
+
+    Filters ``spans`` to ``trace_id`` (or renders whatever it was given),
+    orders causally (start time, then span id), indents children under
+    parents, and draws each span's lifetime as a bar against the trace's
+    own time base.  Span events are listed under their span with ``*``
+    markers, so a dedupe hit, a vcache hit, or a ledger posting reads in
+    causal position.
+    """
+    members = [
+        s
+        for s in spans
+        if trace_id is None or s.trace_id == trace_id
+    ]
+    if not members:
+        return "(no spans in trace)"
+    members.sort(key=lambda s: (s.start, s.span_id))
+    by_id = {s.span_id: s for s in members}
+
+    def depth(span: Span) -> int:
+        d = 0
+        parent = by_id.get(span.parent_id)
+        while parent is not None:
+            d += 1
+            parent = by_id.get(parent.parent_id)
+        return d
+
+    origin = min(s.start for s in members)
+    horizon = max((s.end if s.end is not None else s.start) for s in members)
+    window = max(horizon - origin, 1e-9)
+
+    shown_id = trace_id if trace_id is not None else members[0].trace_id
+    header = (
+        f"trace {shown_id} — {len(members)} spans, "
+        f"{horizon - origin:.4f}s on the simulated clock"
+    )
+    labels = []
+    for span in members:
+        indent = "  " * depth(span)
+        status = "" if span.status == "ok" else "  !! error"
+        labels.append((span, f"{indent}{_span_label(span)}{status}"))
+    label_width = min(max(len(text) for _, text in labels), 64)
+
+    lines = [header]
+    for span, text in labels:
+        begin = int((span.start - origin) / window * (width - 1))
+        end_time = span.end if span.end is not None else span.start
+        finish = int((end_time - origin) / window * (width - 1))
+        bar = [" "] * width
+        for i in range(begin, max(begin, finish) + 1):
+            bar[i] = "="
+        if span.end is None:
+            bar[min(finish + 1, width - 1)] = ">"
+        offset = f"+{span.start - origin:.4f}s"
+        lines.append(
+            f"{text[:label_width]:<{label_width}}  "
+            f"|{''.join(bar)}|  {offset} ({span.duration * 1000:.2f}ms)"
+        )
+        for event in span.events:
+            attrs = " ".join(
+                f"{k}={v}" for k, v in event.attributes.items()
+            )
+            indent = "  " * (depth(span) + 1)
+            lines.append(
+                f"{indent}* {event.name}" + (f" {attrs}" if attrs else "")
+            )
     return "\n".join(lines)
 
 
@@ -194,6 +283,21 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
+def _format_exemplar(exemplar) -> str:
+    """OpenMetrics exemplar suffix for a bucket line, or ''.
+
+    ``# {trace_id="..."} value`` — the trace to pull when this bucket's
+    count looks anomalous.
+    """
+    if not exemplar:
+        return ""
+    trace_id, value = exemplar
+    return (
+        f' # {{trace_id="{_escape_label_value(str(trace_id))}"}}'
+        f" {_format_value(value)}"
+    )
+
+
 def prometheus_text(registry: MetricsRegistry) -> str:
     """Render every family in the Prometheus text exposition format."""
     lines: List[str] = []
@@ -210,18 +314,21 @@ def prometheus_text(registry: MetricsRegistry) -> str:
         elif isinstance(metric, Histogram):
             for key, series in metric.series():
                 cumulative = 0
-                for bound, bucket_count in zip(
-                    metric.buckets, series.bucket_counts
+                for i, (bound, bucket_count) in enumerate(
+                    zip(metric.buckets, series.bucket_counts)
                 ):
                     cumulative = bucket_count
                     lines.append(
                         f"{name}_bucket"
                         f"{_format_labels(key, {'le': _format_value(bound)})}"
                         f" {cumulative}"
+                        f"{_format_exemplar(series.exemplars.get(i))}"
                     )
+                inf_exemplar = series.exemplars.get(len(metric.buckets))
                 lines.append(
                     f"{name}_bucket"
                     f"{_format_labels(key, {'le': '+Inf'})} {series.count}"
+                    f"{_format_exemplar(inf_exemplar)}"
                 )
                 lines.append(
                     f"{name}_sum{_format_labels(key)} "

@@ -37,7 +37,8 @@ def run_fig1(telemetry: Optional[Telemetry] = None) -> Telemetry:
     from repro.crypto.rng import Rng
     from repro.encoding.identifiers import PrincipalId
 
-    telemetry = telemetry or Telemetry()
+    if telemetry is None:
+        telemetry = Telemetry()
     rng = Rng(seed=b"obs-fig1")
     clock = SimulatedClock(START)
     telemetry.bind_clock(clock)
@@ -78,7 +79,8 @@ def run_fig3(telemetry: Optional[Telemetry] = None) -> Telemetry:
     from repro.acl import AclEntry, SinglePrincipal
     from repro.services.nameserver import lookup
 
-    telemetry = telemetry or Telemetry()
+    if telemetry is None:
+        telemetry = Telemetry()
     realm = _fresh("fig3", telemetry)
     fs = realm.file_server("files")
     fs.put("doc", b"data")
@@ -98,7 +100,9 @@ def run_fig3(telemetry: Optional[Telemetry] = None) -> Telemetry:
     azc.authorize(fs.principal, ("read",))
     client = user.client_for(fs.principal)
     client.establish_session()
-    telemetry.tracer.clear()
+    if telemetry.enabled:
+        telemetry.tracer.clear()
+        telemetry.store.clear()
 
     with telemetry.run("fig3"):
         with telemetry.span(
@@ -134,7 +138,8 @@ def run_fig4(telemetry: Optional[Telemetry] = None) -> Telemetry:
     from repro.crypto.rng import Rng
     from repro.encoding.identifiers import PrincipalId
 
-    telemetry = telemetry or Telemetry()
+    if telemetry is None:
+        telemetry = Telemetry()
     rng = Rng(seed=b"obs-fig4")
     clock = SimulatedClock(START)
     telemetry.bind_clock(clock)
@@ -180,7 +185,8 @@ def run_fig4(telemetry: Optional[Telemetry] = None) -> Telemetry:
 
 def run_fig5(telemetry: Optional[Telemetry] = None) -> Telemetry:
     """Fig. 5: processing a check (E1/E2 endorsements, cross-server)."""
-    telemetry = telemetry or Telemetry()
+    if telemetry is None:
+        telemetry = Telemetry()
     realm = _fresh("fig5", telemetry)
     payor = realm.user("payor")
     payee = realm.user("payee")
@@ -194,7 +200,9 @@ def run_fig5(telemetry: Optional[Telemetry] = None) -> Telemetry:
     # Warm every server's tickets with one clearing, then trace a clean run.
     check = payor_client.write_check("payor", payee.principal, "dollars", 1)
     payee_client.deposit_check(check, "payee")
-    telemetry.tracer.clear()
+    if telemetry.enabled:
+        telemetry.tracer.clear()
+        telemetry.store.clear()
 
     with telemetry.run("fig5"):
         with telemetry.span(
@@ -212,11 +220,101 @@ def run_fig5(telemetry: Optional[Telemetry] = None) -> Telemetry:
     return telemetry
 
 
+def run_fig6(telemetry: Optional[Telemetry] = None) -> Telemetry:
+    """Fig. 6 territory (§6.1): pure public-key proxies, no KDC.
+
+    A directory publishes long-term public keys; alice signs a restricted
+    proxy with her private key, and a bearer presents it to a server that
+    verifies the whole chain offline against the directory.
+    """
+    from repro.acl import AclEntry, SinglePrincipal
+    from repro.clock import SimulatedClock
+    from repro.core.proxy import grant_public
+    from repro.core.restrictions import Authorized, AuthorizedEntry, IssuedFor
+    from repro.crypto.dh import TEST_GROUP
+    from repro.crypto.rng import Rng
+    from repro.encoding.identifiers import PrincipalId
+    from repro.net import Network
+    from repro.services.pk_endserver import (
+        PkClient,
+        PkEndServer,
+        PublicKeyDirectory,
+    )
+
+    if telemetry is None:
+        telemetry = Telemetry()
+    rng = Rng(seed=b"obs-fig6")
+    clock = SimulatedClock(START)
+    telemetry.bind_clock(clock)
+    network = Network(clock, rng=rng, telemetry=telemetry)
+    directory = PublicKeyDirectory()
+    server = PkEndServer(
+        PrincipalId("pk-files"),
+        network,
+        clock,
+        directory,
+        group=TEST_GROUP,
+        rng=rng,
+        telemetry=telemetry,
+    )
+    files = {"doc": b"pk data"}
+
+    def read(rights, claimant, args, amounts):
+        return {"data": files[args["path"]]}
+
+    server.register_operation("read", read)
+    alice = PkClient(
+        PrincipalId("alice"), network, clock, directory,
+        group=TEST_GROUP, rng=rng,
+    )
+    bob = PkClient(
+        PrincipalId("bob"), network, clock, directory,
+        group=TEST_GROUP, rng=rng,
+    )
+    server.acl.add(AclEntry(subject=SinglePrincipal(alice.principal)))
+
+    with telemetry.run("fig6"):
+        with telemetry.span(
+            "fig.step",
+            step=1,
+            label="grant [restrictions, Kproxy-pub]_Kalice (signed, no KDC)",
+        ):
+            proxy = grant_public(
+                alice.principal,
+                alice.signer,
+                (
+                    Authorized(
+                        entries=(AuthorizedEntry("doc", ("read",)),)
+                    ),
+                    IssuedFor(servers=(server.principal,)),
+                ),
+                clock.now(),
+                clock.now() + 600,
+                rng,
+                group=TEST_GROUP,
+            )
+        with telemetry.span(
+            "fig.step",
+            step=2,
+            label="bearer presents proxy; S verifies against the directory",
+        ):
+            bob.request(
+                server.principal,
+                "read",
+                target="doc",
+                args={"path": "doc"},
+                proxy=proxy,
+                anonymous=True,
+            )
+    return telemetry
+
+
 FIGURES: Dict[str, Callable[[Optional[Telemetry]], Telemetry]] = {
     "fig1": run_fig1,
     "fig3": run_fig3,
     "fig4": run_fig4,
     "fig5": run_fig5,
+    "fig6": run_fig6,
 }
 
 

@@ -127,21 +127,37 @@ class Gauge(Metric):
 
 
 class HistogramSeries:
-    """Bucket counts, sum, and count for one label combination."""
+    """Bucket counts, sum, count, and exemplars for one label combination.
 
-    __slots__ = ("bucket_counts", "sum", "count")
+    ``exemplars`` maps a bucket index (``len(bounds)`` is the implicit
+    ``+Inf`` bucket) to the most recent ``(trace_id, value)`` observed
+    *natively* in that bucket — the OpenMetrics idea that a latency
+    outlier in a bucket should link to one full causal trace.
+    """
+
+    __slots__ = ("bucket_counts", "sum", "count", "exemplars")
 
     def __init__(self, n_buckets: int) -> None:
         self.bucket_counts: List[int] = [0] * n_buckets
         self.sum = 0.0
         self.count = 0
+        self.exemplars: Dict[int, Tuple[str, float]] = {}
 
-    def observe(self, value: float, bounds: Tuple[float, ...]) -> None:
+    def observe(
+        self,
+        value: float,
+        bounds: Tuple[float, ...],
+        exemplar: Optional[str] = None,
+    ) -> None:
         self.sum += value
         self.count += 1
+        native = len(bounds)  # +Inf unless a finite bucket claims it
         for i, bound in enumerate(bounds):
             if value <= bound:
                 self.bucket_counts[i] += 1
+                native = min(native, i)
+        if exemplar:
+            self.exemplars[native] = (exemplar, value)
 
     def cumulative(self) -> List[int]:
         """Cumulative per-bucket counts, Prometheus style (le semantics)."""
@@ -170,12 +186,16 @@ class Histogram(Metric):
         self.buckets: Tuple[float, ...] = tuple(float(b) for b in buckets)
         self._series: Dict[LabelKey, HistogramSeries] = {}
 
-    def observe(self, value: float, **labels: object) -> None:
+    def observe(
+        self, value: float, exemplar: Optional[str] = None, **labels: object
+    ) -> None:
+        """Record ``value``; ``exemplar`` is the observing request's
+        trace id, remembered per bucket for outlier-to-trace joins."""
         key = _label_key(labels)
         series = self._series.get(key)
         if series is None:
             series = self._series[key] = HistogramSeries(len(self.buckets))
-        series.observe(float(value), self.buckets)
+        series.observe(float(value), self.buckets, exemplar=exemplar)
 
     def count(self, **labels: object) -> int:
         series = self._series.get(_label_key(labels))

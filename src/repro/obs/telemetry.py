@@ -20,6 +20,7 @@ from typing import Optional, Tuple
 
 from repro.clock import Clock, SystemClock
 from repro.obs.metrics import LATENCY_BUCKETS, MetricsRegistry
+from repro.obs.store import TraceStore
 from repro.obs.trace import Span, SpanEvent, Tracer
 
 
@@ -30,6 +31,7 @@ class _NullSpan:
     span_id = None
     parent_id = None
     run_id = None
+    trace_id = None
     name = "<null>"
     start = 0.0
     end = 0.0
@@ -84,6 +86,7 @@ class NullTelemetry:
     tracer = None
     metrics = None
     clock = None
+    store = None
 
     def __bool__(self) -> bool:
         return False
@@ -93,6 +96,12 @@ class NullTelemetry:
 
     def span(self, name: str, **attributes: object) -> _NullContext:
         return _NULL_CONTEXT
+
+    def wire_context(self) -> None:
+        return None
+
+    def current_trace_id(self) -> None:
+        return None
 
     def run(self, label: str) -> _NullContext:
         return _NULL_CONTEXT
@@ -116,6 +125,7 @@ class NullTelemetry:
         value: float,
         help: str = "",
         buckets: Optional[Tuple[float, ...]] = None,
+        exemplar: Optional[str] = None,
         **labels: object,
     ) -> None:
         pass
@@ -154,6 +164,8 @@ class Telemetry:
         self.clock: Clock = clock if clock is not None else SystemClock()
         self.tracer = Tracer(now=lambda: self.clock.now())
         self.metrics = MetricsRegistry()
+        self.store = TraceStore()
+        self.tracer.add_finish_listener(self.store.add)
         self._crypto_captured = False
         if capture_crypto:
             self.capture_crypto()
@@ -178,6 +190,16 @@ class Telemetry:
     def event(self, name: str, **attributes: object) -> SpanEvent:
         return self.tracer.event(name, **attributes)
 
+    def wire_context(self) -> Optional[str]:
+        """The traceparent header the active span would stamp on a wire
+        message, or None outside any span."""
+        context = self.tracer.current_context()
+        return context.to_header() if context is not None else None
+
+    def current_trace_id(self) -> Optional[str]:
+        """Trace id of the logical request currently in flight, if any."""
+        return self.tracer.current_trace_id()
+
     # -- metrics -------------------------------------------------------------
 
     def inc(
@@ -196,10 +218,13 @@ class Telemetry:
         value: float,
         help: str = "",
         buckets: Optional[Tuple[float, ...]] = None,
+        exemplar: Optional[str] = None,
         **labels: object,
     ) -> None:
+        if exemplar is None:
+            exemplar = self.tracer.current_trace_id()
         self.metrics.histogram(name, help=help, buckets=buckets).observe(
-            value, **labels
+            value, exemplar=exemplar, **labels
         )
 
     # -- crypto hot-path capture ---------------------------------------------
@@ -237,6 +262,10 @@ class Telemetry:
                     help="Signature memoization cache hits/misses.",
                     scheme=scheme,
                 )
+                # Pin the hit/miss to the request being served so a trace
+                # shows which verifications the memo absorbed.
+                if self.tracer.current_span is not None:
+                    self.event(f"vcache.sig.{event}", scheme=scheme)
 
         _signature.set_signature_observer(observer)
         _signature.set_signature_cache_observer(cache_observer)

@@ -10,10 +10,16 @@ attributes (principal ids, message types, restriction outcomes), and point
 single tree.
 
 The simulator is synchronous and single-threaded, so the active-span stack
-*is* the call stack — no context propagation machinery is needed.  Spans
-are grouped into protocol **runs** (:meth:`Tracer.run`): every span started
-inside the run carries its id, which is how audit records, metrics deltas,
-and trace trees are correlated.
+*is* the call stack — no context propagation machinery is needed in
+process.  Across the *wire*, causality rides a W3C-traceparent-style
+:class:`~repro.obs.context.TraceContext`: every span carries the
+``trace_id`` of the logical request it serves (inherited from its parent,
+adopted from a wire context, or freshly drawn from the tracer's seeded
+rng), so retries, failovers, cascaded hops, and ledger postings all join
+on one id.  Spans are also grouped into protocol **runs**
+(:meth:`Tracer.run`): every span started inside the run carries its id,
+which is how audit records, metrics deltas, and trace trees are
+correlated.
 """
 
 from __future__ import annotations
@@ -21,6 +27,8 @@ from __future__ import annotations
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.obs.context import TraceContext, span_hex_id
 
 
 @dataclass(frozen=True)
@@ -46,6 +54,8 @@ class Span:
         "span_id",
         "parent_id",
         "run_id",
+        "trace_id",
+        "remote_parent",
         "name",
         "start",
         "end",
@@ -62,10 +72,17 @@ class Span:
         name: str,
         start: float,
         attributes: Optional[Dict[str, object]] = None,
+        trace_id: Optional[str] = None,
+        remote_parent: Optional[str] = None,
     ) -> None:
         self.span_id = span_id
         self.parent_id = parent_id
         self.run_id = run_id
+        #: The logical request this span serves; every span has one.
+        self.trace_id = trace_id
+        #: Wire span id of a parent recorded by *another* tracer (set only
+        #: when a wire context was adopted with no local parent on stack).
+        self.remote_parent = remote_parent
         self.name = name
         self.start = start
         self.end: Optional[float] = None
@@ -88,11 +105,32 @@ class Span:
     def duration(self) -> float:
         return (self.end - self.start) if self.end is not None else 0.0
 
+    @property
+    def hex_id(self) -> str:
+        """This span's 16-hex wire span id (derived from the counter)."""
+        return span_hex_id(self.span_id)
+
+    def context(self) -> Optional[TraceContext]:
+        """The wire context this span would emit, or None if untraced."""
+        if self.trace_id is None:
+            return None
+        parent = (
+            span_hex_id(self.parent_id)
+            if self.parent_id is not None
+            else self.remote_parent
+        )
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=self.hex_id,
+            parent_span_id=parent,
+        )
+
     def to_dict(self) -> dict:
-        return {
+        out = {
             "span_id": self.span_id,
             "parent_id": self.parent_id,
             "run_id": self.run_id,
+            "trace_id": self.trace_id,
             "name": self.name,
             "start": self.start,
             "end": self.end,
@@ -100,11 +138,46 @@ class Span:
             "attributes": {k: _plain(v) for k, v in self.attributes.items()},
             "events": [e.to_dict() for e in self.events],
         }
+        if self.remote_parent is not None:
+            out["remote_parent"] = self.remote_parent
+        return out
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "Span":
+        """Rebuild a span from its :meth:`to_dict` form (forensics path)."""
+        span = cls(
+            span_id=int(record["span_id"]),
+            parent_id=(
+                int(record["parent_id"])
+                if record.get("parent_id") is not None
+                else None
+            ),
+            run_id=record.get("run_id"),
+            name=str(record.get("name", "")),
+            start=float(record.get("start", 0.0)),
+            attributes=dict(record.get("attributes") or {}),
+            trace_id=record.get("trace_id"),
+            remote_parent=record.get("remote_parent"),
+        )
+        span.end = (
+            float(record["end"]) if record.get("end") is not None else None
+        )
+        span.status = str(record.get("status", "ok"))
+        for event in record.get("events") or []:
+            span.events.append(
+                SpanEvent(
+                    time=float(event.get("time", 0.0)),
+                    name=str(event.get("name", "")),
+                    attributes=dict(event.get("attributes") or {}),
+                )
+            )
+        return span
 
     def __repr__(self) -> str:
         return (
             f"Span(id={self.span_id}, name={self.name!r}, "
-            f"parent={self.parent_id}, status={self.status})"
+            f"parent={self.parent_id}, trace={self.trace_id}, "
+            f"status={self.status})"
         )
 
 
@@ -122,29 +195,69 @@ def _plain(value: object) -> object:
 
 
 class Tracer:
-    """Collects spans; owns the active-span stack and run ids.
+    """Collects spans; owns the active-span stack, run ids, and trace ids.
 
     Args:
         now: time source for span timestamps.  Inject the simulated clock's
             ``now`` so trace timing is a consequence of message count and
             the latency model, exactly like protocol latency itself.
+        rng: source of fresh trace ids.  Defaults to a
+            :class:`~repro.crypto.rng.Rng` with a fixed seed, so trace ids
+            are deterministic per run — the property that makes
+            ``--follow TRACE_ID`` reproducible across invocations.
     """
 
-    def __init__(self, now: Callable[[], float]) -> None:
+    def __init__(self, now: Callable[[], float], rng=None) -> None:
+        if rng is None:
+            from repro.crypto.rng import Rng
+
+            rng = Rng(seed=b"trace-context")
         self._now = now
+        self._rng = rng
         self.spans: List[Span] = []
         self.orphan_events: List[SpanEvent] = []
         self._stack: List[Span] = []
         self._next_id = 1
         self._run_counter = 0
         self._run_id: Optional[str] = None
+        #: Called with each span as it finishes (TraceStore indexing).
+        self._finish_listeners: List[Callable[[Span], None]] = []
 
     # -- recording -----------------------------------------------------------
 
+    def add_finish_listener(self, listener: Callable[[Span], None]) -> None:
+        self._finish_listeners.append(listener)
+
+    def new_trace_id(self) -> str:
+        """A fresh 32-hex trace id from the seeded rng."""
+        return self._rng.bytes(16).hex()
+
     @contextmanager
-    def span(self, name: str, **attributes: object) -> Iterator[Span]:
-        """Open a child span of whatever span is currently active."""
+    def span(
+        self,
+        name: str,
+        remote_context: Optional[str] = None,
+        **attributes: object,
+    ) -> Iterator[Span]:
+        """Open a child span of whatever span is currently active.
+
+        ``remote_context`` is a traceparent header from the wire: with no
+        local parent on the stack, the new span adopts its trace id and
+        records the remote span id as its causal parent — how a service
+        with its *own* tracer still joins the sender's trace.  A local
+        parent always wins (in process, the stack is the truth).
+        """
         parent = self._stack[-1] if self._stack else None
+        remote_parent = None
+        if parent is not None:
+            trace_id = parent.trace_id
+        else:
+            remote = TraceContext.try_parse(remote_context)
+            if remote is not None:
+                trace_id = remote.trace_id
+                remote_parent = remote.span_id
+            else:
+                trace_id = self.new_trace_id()
         span = Span(
             span_id=self._next_id,
             parent_id=parent.span_id if parent is not None else None,
@@ -152,6 +265,8 @@ class Tracer:
             name=name,
             start=self._now(),
             attributes=attributes,
+            trace_id=trace_id,
+            remote_parent=remote_parent,
         )
         self._next_id += 1
         self.spans.append(span)
@@ -167,6 +282,8 @@ class Tracer:
         finally:
             span.end = self._now()
             self._stack.pop()
+            for listener in self._finish_listeners:
+                listener(span)
 
     @contextmanager
     def run(self, label: str) -> Iterator[Span]:
@@ -201,6 +318,17 @@ class Tracer:
     def current_run_id(self) -> Optional[str]:
         return self._run_id
 
+    def current_context(self) -> Optional[TraceContext]:
+        """The wire context of the active span, or None outside any span."""
+        if not self._stack:
+            return None
+        return self._stack[-1].context()
+
+    def current_trace_id(self) -> Optional[str]:
+        if not self._stack:
+            return None
+        return self._stack[-1].trace_id
+
     def finished_spans(self) -> List[Span]:
         return [s for s in self.spans if s.end is not None]
 
@@ -212,6 +340,9 @@ class Tracer:
 
     def spans_in_run(self, run_id: str) -> List[Span]:
         return [s for s in self.spans if s.run_id == run_id]
+
+    def spans_in_trace(self, trace_id: str) -> List[Span]:
+        return [s for s in self.spans if s.trace_id == trace_id]
 
     def find(self, name: str) -> List[Span]:
         return [s for s in self.spans if s.name == name]

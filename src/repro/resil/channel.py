@@ -231,24 +231,45 @@ class ResilientChannel:
             msg_type=msg_type,
         ) as span:
             for attempt in range(attempts):
-                endpoint, breaker, failover = self._route(destination)
-                if failover:
-                    self.stats.failovers += 1
-                    if self.telemetry.enabled:
-                        self.telemetry.inc(
-                            "resil.failovers_total",
-                            help="Sends routed to a non-primary replica.",
-                            logical=str(destination),
-                            endpoint=str(endpoint),
-                        )
+                # One child span per attempt: resends and failover legs of
+                # the same logical request stay causally distinct in the
+                # trace while sharing the parent's trace id.
                 try:
-                    response = self.network.send(
-                        source, endpoint, msg_type, stamped
-                    )
+                    with self.telemetry.span(
+                        "resil.attempt",
+                        logical=str(destination),
+                        msg_type=msg_type,
+                        attempt=attempt + 1,
+                    ) as attempt_span:
+                        endpoint, breaker, failover = self._route(
+                            destination
+                        )
+                        attempt_span.set(
+                            endpoint=str(endpoint), failover=failover
+                        )
+                        if failover:
+                            self.stats.failovers += 1
+                            if self.telemetry.enabled:
+                                self.telemetry.inc(
+                                    "resil.failovers_total",
+                                    help="Sends routed to a non-primary "
+                                    "replica.",
+                                    logical=str(destination),
+                                    endpoint=str(endpoint),
+                                )
+                        response = self.network.send(
+                            source, endpoint, msg_type, stamped
+                        )
+                        attempt_span.set(outcome="ok")
                 except _RETRYABLE as exc:
                     last_exc = exc
                     was_open = breaker.state == CircuitBreaker.OPEN
                     breaker.record_failure(self.network.clock.now())
+                    attempt_span.set(
+                        outcome="lost",
+                        reason=type(exc).__name__,
+                        breaker=breaker.state,
+                    )
                     if (
                         breaker.state == CircuitBreaker.OPEN
                         and not was_open

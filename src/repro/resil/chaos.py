@@ -48,6 +48,7 @@ from repro.encoding.identifiers import PrincipalId
 from repro.errors import ReproError
 from repro.kerberos.kdc import kdc_principal
 from repro.kerberos.proxy_support import endorse, grant_via_credentials
+from repro.obs.telemetry import Telemetry
 from repro.resil.policy import NO_RETRY, RetryPolicy
 from repro.testbed import Realm
 
@@ -102,6 +103,9 @@ class UnitResult:
     ok: bool
     outcome: Any = None
     error: str = ""
+    #: Trace id of the unit's causal trace on the faulted arm ("" when
+    #: the realm ran without telemetry, e.g. the baseline).
+    trace_id: str = ""
 
 
 @dataclass
@@ -119,6 +123,9 @@ class ChaosReport:
     finale: Any = None
     baseline_finale: Any = None
     extras: Dict[str, int] = field(default_factory=dict)
+    #: Pre-rendered causal waterfalls of the offending units, populated
+    #: when the campaign fails its promise (forensic auto-dump).
+    forensics: List[str] = field(default_factory=list)
 
     # -- derived -----------------------------------------------------------
 
@@ -209,7 +216,12 @@ class ChaosReport:
                 + ", ".join(str(unit.index) for unit in failed)
             )
             for unit in failed[:5]:
-                lines.append(f"  unit {unit.index}: {unit.error}")
+                suffix = (
+                    f"  (trace {unit.trace_id[:12]}…)"
+                    if unit.trace_id
+                    else ""
+                )
+                lines.append(f"  unit {unit.index}: {unit.error}{suffix}")
             lines.append("")
         mismatched = self.mismatches()
         if mismatched:
@@ -241,6 +253,12 @@ class ChaosReport:
                 "verdict: control arm — "
                 f"{self.unrecoverable} unit(s) lost without retries"
             )
+        if self.forensics:
+            lines.append("")
+            lines.append("forensic traces (offending units):")
+            for dump in self.forensics:
+                lines.append("")
+                lines.append(dump)
         return "\n".join(lines)
 
 
@@ -475,12 +493,22 @@ def _build(spec: CampaignSpec, faulted: bool) -> Tuple[Realm, _Workload, dict]:
         CAMPAIGN_POLICY if (spec.retry or not faulted) else NO_RETRY
     )
     seed = f"chaos-{spec.figure}-{spec.seed}".encode()
-    realm = Realm(seed=seed, resilience=policy)
+    # The faulted arm records full traces so a failed campaign can dump
+    # the offending units' causal history.  The tracer draws ids from its
+    # own rng, so tracing never perturbs the realm's seeded behaviour —
+    # the baseline stays untraced because parity compares application
+    # outcomes, and recording both arms would double the span load.
+    telemetry = Telemetry() if faulted else None
+    realm = Realm(seed=seed, resilience=policy, telemetry=telemetry)
     workload = WORKLOADS[spec.figure]()
     if faulted and spec.kill_primary:
         realm.kdc_replica("kdc-standby")
         realm.network.blackhole(kdc_principal(realm.realm))
     state = workload.setup(realm)
+    if realm.telemetry.enabled:
+        # Warm-up traffic (tickets, sessions) is not part of any unit.
+        realm.telemetry.tracer.clear()
+        realm.telemetry.store.clear()
     return realm, workload, state
 
 
@@ -513,18 +541,28 @@ def _run_units(
     for index in range(spec.units):
         if spec.pacing > 0 and isinstance(realm.clock, SimulatedClock):
             realm.clock.advance(spec.pacing)
+        trace_id = ""
         try:
-            outcome = workload.unit(realm, state, index)
+            with realm.telemetry.run(
+                f"{spec.figure}-unit-{index}"
+            ) as run_span:
+                trace_id = run_span.trace_id or ""
+                outcome = workload.unit(realm, state, index)
         except ReproError as exc:
             results.append(
                 UnitResult(
                     index=index,
                     ok=False,
                     error=f"{type(exc).__name__}: {exc}",
+                    trace_id=trace_id,
                 )
             )
         else:
-            results.append(UnitResult(index=index, ok=True, outcome=outcome))
+            results.append(
+                UnitResult(
+                    index=index, ok=True, outcome=outcome, trace_id=trace_id
+                )
+            )
     return results
 
 
@@ -547,7 +585,7 @@ def run_campaign(spec: CampaignSpec) -> ChaosReport:
     finale = workload.finale(realm, state)
 
     degraded_client, degraded_server = workload.degraded_counts(state)
-    return ChaosReport(
+    report = ChaosReport(
         spec=spec,
         units=units,
         baseline_units=baseline_units,
@@ -560,3 +598,27 @@ def run_campaign(spec: CampaignSpec) -> ChaosReport:
         baseline_finale=baseline_finale,
         extras=workload.extras(state),
     )
+    if report.exit_code() != 0 and realm.telemetry.enabled:
+        _attach_forensics(report, realm.telemetry)
+    return report
+
+
+#: A failed campaign dumps at most this many unit traces — enough to
+#: diagnose, small enough to read in a CI log.
+FORENSIC_DUMP_LIMIT = 3
+
+
+def _attach_forensics(report: ChaosReport, telemetry: Telemetry) -> None:
+    """Render the causal traces of the units that broke the promise."""
+    from repro.obs.export import render_trace_waterfall
+
+    mismatched = set(report.mismatches())
+    offenders = [
+        unit
+        for unit in report.units
+        if (not unit.ok or unit.index in mismatched) and unit.trace_id
+    ]
+    for unit in offenders[:FORENSIC_DUMP_LIMIT]:
+        spans = telemetry.store.by_trace(unit.trace_id)
+        if spans:
+            report.forensics.append(render_trace_waterfall(spans))

@@ -525,6 +525,15 @@ class AccountingServer(EndServer):
         """
         next_hop = self.routes.get(payor_server)
         if next_hop is None or next_hop == payor_server:
+            if self.telemetry.enabled:
+                self.telemetry.event(
+                    "accounting.forward",
+                    mode="direct",
+                    server=str(self.principal),
+                    payor_server=str(payor_server),
+                    currency=currency,
+                    amount=amount,
+                )
             client = ServiceClient(self.kerberos, payor_server)
             return client.request(
                 DEBIT_OPERATION,
@@ -539,6 +548,16 @@ class AccountingServer(EndServer):
             )
         # Multi-hop: add our own endorsement naming the next hop (the
         # paper's "subsequent accounting servers repeat the process").
+        if self.telemetry.enabled:
+            self.telemetry.event(
+                "accounting.forward",
+                mode="endorse-hop",
+                server=str(self.principal),
+                payor_server=str(payor_server),
+                next_hop=str(next_hop),
+                currency=currency,
+                amount=amount,
+            )
         credentials = self.kerberos.get_ticket(payor_server)
         endorsed = endorse(
             bundle,

@@ -202,6 +202,17 @@ class AuthorizationServer(EndServer):
             server=str(self.principal),
             end_server=str(end_server),
         )
+        if self.telemetry.enabled:
+            # Cascaded authorization hops stay attributable: the issuance
+            # lands on the request's span, so the trace shows which hop
+            # minted the proxy a later server verified.
+            self.telemetry.event(
+                "authorization.issue",
+                server=str(self.principal),
+                end_server=str(end_server),
+                grantor=str(request.rights) if request.rights else None,
+                operations=",".join(operations),
+            )
         return {
             "sealed_proxy": seal_proxy_delivery(kproxy, request.session_key)
         }

@@ -288,6 +288,13 @@ class EndServer(Service):
                     service=str(self.principal),
                     grantor=str(verified.grantor),
                 )
+                if self.telemetry.enabled:
+                    self.telemetry.event(
+                        "degraded.grant",
+                        service=str(self.principal),
+                        grantor=str(verified.grantor),
+                        operation=operation,
+                    )
             rights = verified.grantor
             self.audit.record(
                 self.clock.now(), self.principal, verified, operation, target

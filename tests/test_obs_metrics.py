@@ -8,6 +8,7 @@ from repro.obs.metrics import (
     Histogram,
     LATENCY_BUCKETS,
     MetricsRegistry,
+    prometheus_name,
 )
 from repro.obs.export import prometheus_text
 
@@ -131,3 +132,96 @@ class TestPrometheusText:
 
     def test_empty_registry_renders_empty(self):
         assert prometheus_text(MetricsRegistry()) == ""
+
+
+class TestExpositionConformance:
+    """Invariants the Prometheus/OpenMetrics formats actually require."""
+
+    def test_prometheus_name_sanitizes_dots_and_strays(self):
+        assert prometheus_name("vcache.sig.hit") == "vcache_sig_hit"
+        assert prometheus_name("weird-name with spaces") == (
+            "weird_name_with_spaces"
+        )
+        assert prometheus_name("2fast") == "_2fast"
+
+    def test_prometheus_name_is_idempotent_on_legal_names(self):
+        for name in ("msgs_total", "a:b:c", "_leading", "x9"):
+            assert prometheus_name(name) == name
+            assert prometheus_name(prometheus_name(name)) == (
+                prometheus_name(name)
+            )
+
+    def test_every_exposed_sample_name_is_legal(self):
+        import re
+
+        registry = MetricsRegistry()
+        registry.counter("vcache.sig.hit").inc()
+        registry.gauge("9lives").set(1)
+        registry.histogram("net.latency", buckets=(0.1,)).observe(0.05)
+        legal = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+        for line in prometheus_text(registry).splitlines():
+            if not line or line.startswith("#"):
+                continue
+            sample = line.split("{")[0].split(" ")[0]
+            assert legal.match(sample), line
+
+    def test_bucket_counts_are_cumulative_and_end_at_count(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", buckets=(0.001, 0.01, 0.1, 1.0))
+        for value in (0.0005, 0.005, 0.005, 0.05, 0.5, 5.0):
+            h.observe(value)
+        text = prometheus_text(registry)
+        counts = []
+        for line in text.splitlines():
+            if line.startswith("lat_bucket"):
+                counts.append(int(line.rsplit(" ", 1)[1]))
+        assert counts == sorted(counts), "bucket counts must be cumulative"
+        assert 'le="+Inf"} 6' in text
+        assert "lat_count 6" in text
+        assert "lat_sum 5.5605" in text
+
+    def test_help_and_type_precede_samples_once_per_family(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", help="Latency.", buckets=(0.1,))
+        h.observe(0.05, op="a")
+        h.observe(0.05, op="b")
+        text = prometheus_text(registry)
+        assert text.count("# HELP lat Latency.") == 1
+        assert text.count("# TYPE lat histogram") == 1
+        assert text.index("# TYPE lat histogram") < text.index("lat_bucket")
+
+    def test_exemplar_renders_on_the_native_bucket_only(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", buckets=(0.1, 1.0))
+        h.observe(0.05, exemplar="a" * 32)
+        text = prometheus_text(registry)
+        assert (
+            'lat_bucket{le="0.1"} 1 # {trace_id="' + "a" * 32 + '"} 0.05'
+            in text
+        )
+        # The wider buckets count the observation but carry no exemplar.
+        assert 'lat_bucket{le="1"} 1\n' in text
+        assert 'lat_bucket{le="+Inf"} 1\n' in text
+
+    def test_overflow_exemplar_lands_on_the_inf_bucket(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", buckets=(0.1,))
+        h.observe(7.0, exemplar="b" * 32)
+        text = prometheus_text(registry)
+        assert (
+            'lat_bucket{le="+Inf"} 1 # {trace_id="' + "b" * 32 + '"} 7'
+            in text
+        )
+
+    def test_no_exemplar_no_suffix(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", buckets=(0.1,)).observe(0.05)
+        text = prometheus_text(registry)
+        assert "#" not in text.split("# TYPE lat histogram\n", 1)[1]
+
+    def test_latest_exemplar_wins_per_bucket(self):
+        h = Histogram("lat", buckets=(0.1,))
+        h.observe(0.01, exemplar="a" * 32)
+        h.observe(0.02, exemplar="c" * 32)
+        ((_, series),) = h.series()
+        assert series.exemplars[0] == ("c" * 32, 0.02)

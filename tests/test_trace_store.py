@@ -1,0 +1,199 @@
+"""The causal trace store, the JSONL schema gate, and the waterfall view."""
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.obs.export import render_trace_waterfall, spans_to_jsonl
+from repro.obs.store import (
+    TraceStore,
+    load_spans_jsonl,
+    validate_spans,
+)
+from repro.obs.trace import Span, Tracer
+
+
+@pytest.fixture
+def clock():
+    return SimulatedClock(1000.0)
+
+
+@pytest.fixture
+def tracer(clock):
+    return Tracer(now=clock.now)
+
+
+@pytest.fixture
+def store(tracer):
+    s = TraceStore()
+    tracer.add_finish_listener(s.add)
+    return s
+
+
+def _make_span(span_id, trace_id, parent_id=None, name="s", start=0.0,
+               end=1.0, status="ok", **attributes):
+    span = Span(
+        span_id=span_id,
+        parent_id=parent_id,
+        run_id=None,
+        name=name,
+        start=start,
+        attributes=attributes,
+        trace_id=trace_id,
+    )
+    span.end = end
+    span.status = status
+    return span
+
+
+T1 = "a" * 32
+T2 = "b" * 32
+
+
+class TestTraceStore:
+    def test_indexes_finished_spans_by_trace(self, tracer, store, clock):
+        with tracer.span("outer", source="alice@X"):
+            clock.advance(2.0)
+            with tracer.span("inner"):
+                clock.advance(1.0)
+        (trace_id,) = store.trace_ids()
+        spans = store.by_trace(trace_id)
+        assert [s.name for s in spans] == ["outer", "inner"]  # causal order
+        assert len(store) == 2
+        assert store.duration_of(trace_id) == pytest.approx(3.0)
+
+    def test_untraced_spans_are_skipped(self, store):
+        store.add(_make_span(1, trace_id=None))
+        assert len(store) == 0
+        assert store.trace_ids() == []
+
+    def test_prefix_lookup_like_git(self, store):
+        store.add(_make_span(1, T1))
+        store.add(_make_span(2, T2))
+        assert store.by_trace(T1[:8])[0].span_id == 1
+        assert store.resolve(T2[:8]) == T2
+        assert store.resolve("ff") is None
+        assert store.by_trace("ff") == []
+
+    def test_ambiguous_prefix_raises(self, store):
+        store.add(_make_span(1, "a1" + "0" * 30))
+        store.add(_make_span(2, "a2" + "0" * 30))
+        with pytest.raises(KeyError):
+            store.by_trace("a")
+
+    def test_by_principal_spans_every_named_attribute(self, store):
+        store.add(_make_span(1, T1, source="alice@X", destination="fs@X"))
+        store.add(_make_span(2, T2, grantor="alice@X"))
+        store.add(_make_span(3, T2, service="bank@X"))
+        assert store.by_principal("alice@X") == [T1, T2]
+        assert store.by_principal("fs@X") == [T1]
+        assert store.by_principal("bank@X") == [T2]
+        assert store.by_principal("stranger@X") == []
+        assert store.principals() == ["alice@X", "bank@X", "fs@X"]
+
+    def test_slowest_and_failed(self, store):
+        store.add(_make_span(1, T1, start=0.0, end=10.0))
+        store.add(_make_span(2, T2, start=0.0, end=2.0, status="error"))
+        assert store.slowest(1) == [(T1, 10.0)]
+        assert store.slowest(5) == [(T1, 10.0), (T2, 2.0)]
+        assert store.failed() == [T2]
+
+    def test_clear_empties_every_index(self, store):
+        store.add(_make_span(1, T1, source="alice@X"))
+        store.clear()
+        assert len(store) == 0
+        assert store.trace_ids() == []
+        assert store.principals() == []
+
+
+class TestJsonlSchema:
+    def test_load_round_trip(self, tracer):
+        with tracer.span("outer", source="a@X"):
+            with tracer.span("inner"):
+                pass
+        restored = load_spans_jsonl(spans_to_jsonl(tracer.spans))
+        assert [(s.span_id, s.name, s.trace_id) for s in restored] == [
+            (s.span_id, s.name, s.trace_id) for s in tracer.spans
+        ]
+
+    def test_load_names_the_bad_line(self):
+        with pytest.raises(ValueError, match="line 2"):
+            load_spans_jsonl('{"span_id": 1}\nnot json')
+
+    def test_clean_dump_validates(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert validate_spans(tracer.spans) == []
+
+    def test_missing_trace_id_flagged(self):
+        problems = validate_spans([_make_span(1, trace_id=None)])
+        assert any("trace_id" in p for p in problems)
+
+    def test_duplicate_span_id_flagged(self):
+        problems = validate_spans(
+            [_make_span(1, T1), _make_span(1, T1)]
+        )
+        assert any("duplicate" in p for p in problems)
+
+    def test_unresolved_parent_flagged(self):
+        problems = validate_spans([_make_span(2, T1, parent_id=99)])
+        assert any("does not resolve" in p for p in problems)
+
+    def test_parent_in_other_trace_flagged(self):
+        problems = validate_spans(
+            [_make_span(1, T1), _make_span(2, T2, parent_id=1)]
+        )
+        assert any("not" in p and T2 in p for p in problems)
+
+    def test_backwards_time_flagged(self):
+        problems = validate_spans(
+            [_make_span(1, T1, start=5.0, end=1.0)]
+        )
+        assert any("end" in p for p in problems)
+
+    def test_orphan_trace_flagged(self):
+        # Every member claims a parent: the trace has no root.
+        problems = validate_spans(
+            [
+                _make_span(1, T1, parent_id=2),
+                _make_span(2, T1, parent_id=1),
+            ]
+        )
+        assert any("no root" in p for p in problems)
+
+
+class TestWaterfall:
+    def test_renders_header_bars_and_events(self, tracer, clock):
+        with tracer.span("outer", source="a@X") as outer:
+            clock.advance(4.0)
+            with tracer.span("inner"):
+                tracer.event("ledger.post", posting_id=7)
+                clock.advance(4.0)
+        text = render_trace_waterfall(tracer.spans)
+        lines = text.splitlines()
+        assert lines[0].startswith(f"trace {outer.trace_id} — 2 spans")
+        assert "8.0000s on the simulated clock" in lines[0]
+        assert "outer" in lines[1] and "|" in lines[1]
+        assert lines[2].lstrip().startswith("inner")  # indented child
+        assert "* ledger.post posting_id=7" in text
+        # The child starts halfway: its bar begins past the left edge.
+        bar = lines[2].split("|")[1]
+        assert bar[0] == " " and "=" in bar
+
+    def test_filters_to_the_requested_trace(self, tracer):
+        with tracer.span("first") as first:
+            pass
+        with tracer.span("second"):
+            pass
+        text = render_trace_waterfall(tracer.spans, trace_id=first.trace_id)
+        assert "first" in text and "second" not in text
+        assert "1 spans" in text
+
+    def test_error_spans_are_marked(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        assert "!!" in render_trace_waterfall(tracer.spans)
+
+    def test_empty_input(self):
+        assert render_trace_waterfall([]) == "(no spans in trace)"
