@@ -25,13 +25,12 @@ flake).
 """
 
 import argparse
-import json
 import sys
 import time
 
 import pytest
 
-from conftest import report
+from conftest import bench_payload, report, write_bench_json
 from repro.clock import SimulatedClock
 from repro.core.evaluation import RequestContext
 from repro.core.presentation import present
@@ -242,11 +241,18 @@ def main(argv=None) -> int:
         else (1.2 if args.smoke else 3.0)
     )
     payload = run_comparison(iterations, min_speedup)
-    text = json.dumps(payload, indent=2, sort_keys=True)
-    print(text)
-    if args.json:
-        with open(args.json, "w", encoding="utf-8") as handle:
-            handle.write(text + "\n")
+    write_bench_json(
+        args.json,
+        bench_payload(
+            name="verify_cache",
+            config={
+                "iterations": iterations,
+                "min_speedup": min_speedup,
+            },
+            metrics=payload,
+            passed=payload["passed"],
+        ),
+    )
     if not payload["passed"]:
         print(
             f"FAIL: cached schnorr speedup "

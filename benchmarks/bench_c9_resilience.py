@@ -20,7 +20,6 @@ below the top drop rate, or diverges from the fault-free baseline.
 """
 
 import argparse
-import json
 import sys
 
 from repro.resil.chaos import CampaignSpec, run_campaign
@@ -135,12 +134,18 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     units = args.units if args.units is not None else (8 if args.smoke else 25)
     rates = SMOKE_RATES if args.smoke else FULL_RATES
+    from conftest import bench_payload, write_bench_json
+
     payload = run_sweep(rates, units)
-    text = json.dumps(payload, indent=2, sort_keys=True)
-    print(text)
-    if args.json:
-        with open(args.json, "w", encoding="utf-8") as handle:
-            handle.write(text + "\n")
+    write_bench_json(
+        args.json,
+        bench_payload(
+            name="resilience_goodput",
+            config={"units": units, "drop_rates": list(rates)},
+            metrics=payload,
+            passed=payload["passed"],
+        ),
+    )
     if not payload["passed"]:
         print(
             "FAIL: the resilient arm lost work or diverged from the "

@@ -21,7 +21,6 @@ The script exits non-zero if any campaign records a violation.
 """
 
 import argparse
-import json
 import sys
 import time
 
@@ -132,12 +131,18 @@ def main(argv=None) -> int:
         if args.episodes is not None
         else (SMOKE_EPISODES if args.smoke else FULL_EPISODES)
     )
+    from conftest import bench_payload, write_bench_json
+
     payload = run_sweep(episodes)
-    text = json.dumps(payload, indent=2, sort_keys=True)
-    print(text)
-    if args.json:
-        with open(args.json, "w", encoding="utf-8") as handle:
-            handle.write(text + "\n")
+    write_bench_json(
+        args.json,
+        bench_payload(
+            name="ledger_fuzz",
+            config={"seed": SEED, "episodes_per_campaign": episodes},
+            metrics=payload,
+            passed=payload["passed"],
+        ),
+    )
     return 0 if payload["passed"] else 1
 
 

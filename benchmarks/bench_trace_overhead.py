@@ -19,11 +19,10 @@ is wide enough that shared runners do not flake).
 """
 
 import argparse
-import json
 import sys
 import time
 
-from conftest import report
+from conftest import bench_payload, report, write_bench_json
 from repro.obs.figures import run_fig4
 from repro.obs.telemetry import NO_TELEMETRY, Telemetry
 
@@ -131,11 +130,19 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     iterations = 20 if args.smoke else 200
     payload = run_comparison(iterations, args.max_overhead)
-    text = json.dumps(payload, indent=2, sort_keys=True)
-    print(text)
-    if args.json:
-        with open(args.json, "w", encoding="utf-8") as handle:
-            handle.write(text + "\n")
+    write_bench_json(
+        args.json,
+        bench_payload(
+            name="trace_overhead",
+            config={
+                "workload": "fig4",
+                "iterations": iterations,
+                "max_overhead": args.max_overhead,
+            },
+            metrics=payload,
+            passed=payload["passed"],
+        ),
+    )
     if not payload["passed"]:
         print(
             f"FAIL: telemetry overhead {payload['overhead']}x "

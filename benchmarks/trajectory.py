@@ -1,0 +1,152 @@
+"""Aggregate ``BENCH_*.json`` artifacts into one trajectory table.
+
+Every script-mode benchmark writes the common envelope from
+:func:`conftest.bench_payload` — ``{schema, name, config, metrics,
+passed, run_at}`` — so CI artifacts from different benchmarks (and from
+different runs, when collected into one directory) can be summarized
+without per-benchmark parsing::
+
+    python benchmarks/trajectory.py BENCH_*.json
+    python benchmarks/trajectory.py --dir artifacts/ --json trajectory.json
+
+Pre-envelope artifacts (a bare metrics payload with a ``benchmark`` key)
+are accepted and normalized, so the aggregator still works on history
+downloaded from runs before the schema existed.  Exit status is non-zero
+when any aggregated result failed its own gate.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+#: Scalar metrics worth surfacing in the one-line summary, in preference
+#: order; the first few present in a result are shown.
+_HEADLINE_KEYS = (
+    "overhead",
+    "speedup",
+    "goodput",
+    "postings_per_sec",
+    "messages_attributed_per_run",
+    "spans_per_run",
+)
+
+
+def normalize(raw, source=""):
+    """Coerce one loaded JSON document to the common envelope shape."""
+    if isinstance(raw, dict) and "metrics" in raw and "name" in raw:
+        result = dict(raw)
+    elif isinstance(raw, dict):
+        # Pre-schema artifact: the whole document is the metrics payload.
+        result = {
+            "schema": 0,
+            "name": str(raw.get("benchmark", source or "unknown")),
+            "config": {},
+            "metrics": raw,
+            "passed": bool(raw.get("passed", True)),
+            "run_at": "",
+        }
+    else:
+        raise ValueError(f"{source or 'artifact'}: not a JSON object")
+    result["source"] = source
+    return result
+
+
+def headline(metrics):
+    """A compact 'key=value' string of the most telling scalar metrics."""
+    parts = []
+    for key in _HEADLINE_KEYS:
+        value = metrics.get(key)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            parts.append(f"{key}={value}")
+        if len(parts) >= 2:
+            break
+    return " ".join(parts)
+
+
+def load_results(paths):
+    results = []
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            raw = json.load(handle)
+        results.append(normalize(raw, source=os.path.basename(path)))
+    return sorted(results, key=lambda r: (r["name"], r.get("run_at", "")))
+
+
+def render(results) -> str:
+    columns = ("benchmark", "run at", "verdict", "headline", "source")
+    rows = [
+        (
+            result["name"],
+            result.get("run_at") or "-",
+            "pass" if result["passed"] else "FAIL",
+            headline(result.get("metrics", {})) or "-",
+            result.get("source", "-"),
+        )
+        for result in results
+    ]
+    widths = [
+        max(len(column), *(len(str(row[i])) for row in rows))
+        if rows
+        else len(column)
+        for i, column in enumerate(columns)
+    ]
+    lines = [
+        "  ".join(c.ljust(w) for c, w in zip(columns, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))
+    failed = sum(1 for result in results if not result["passed"])
+    lines.append("")
+    lines.append(
+        f"{len(results)} result(s), {failed} failed"
+        if results
+        else "no BENCH_*.json artifacts found"
+    )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "paths", nargs="*", help="BENCH_*.json files to aggregate"
+    )
+    parser.add_argument(
+        "--dir",
+        default="",
+        help="also aggregate every BENCH_*.json under this directory",
+    )
+    parser.add_argument(
+        "--json", default="", help="write the merged results to this file"
+    )
+    args = parser.parse_args(argv)
+    paths = list(args.paths)
+    if args.dir:
+        paths.extend(
+            sorted(
+                glob.glob(
+                    os.path.join(args.dir, "**", "BENCH_*.json"),
+                    recursive=True,
+                )
+            )
+        )
+    if not paths:
+        paths = sorted(glob.glob("BENCH_*.json"))
+    results = load_results(paths)
+    print(render(results))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"schema": 1, "results": results},
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+            handle.write("\n")
+    return 1 if any(not result["passed"] for result in results) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

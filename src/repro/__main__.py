@@ -26,6 +26,18 @@ whole accounting surface (checks, endorsement cascades, certified and
 cashier's checks, malformed arguments; ``--faults`` adds network fault
 injection) and asserts the ledger's conservation invariants after every
 episode.  Exits non-zero on any violation.
+
+``python -m repro usage <figure>`` replays a figure with per-principal
+usage metering on and prints the attribution report (``--top``,
+``--principal``, ``--json``), the reconciliation verdict against the
+network's own byte counters, and — with ``--charge`` — posts tariffed
+charges through an accounting server's ledger, machine-checking
+conservation afterwards.  Exits non-zero on any mismatch.
+
+``python -m repro profile <figure>`` (or ``--from spans.jsonl``) folds
+the run's spans into flame-graph folded stacks — self-time on the
+simulated clock by default, span counts with ``--weight count`` — and
+can write a speedscope document with ``--speedscope``.
 """
 
 from __future__ import annotations
@@ -277,6 +289,152 @@ def fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def usage(args) -> int:
+    """Replay a figure with metering on; report, reconcile, and charge."""
+    import json
+
+    from repro.obs import Telemetry
+    from repro.obs.figures import run_figure
+    from repro.obs.usage import Tariff, charges_to_json
+
+    telemetry = Telemetry(capture_crypto=True, meter_usage=True)
+    try:
+        run_figure(args.figure, telemetry)
+    finally:
+        telemetry.release_crypto()
+    meter = telemetry.usage
+
+    print(f"== {args.figure}: per-principal usage ==\n")
+    print(
+        meter.report(
+            top=args.top,
+            principal=args.principal or None,
+            include_cpu=args.cpu,
+        )
+    )
+
+    # The acceptance gate: metered totals must equal the network layer's
+    # own counters exactly — attribution may never invent or lose a byte.
+    net_messages = int(
+        telemetry.metrics.counter("network_messages_total").total()
+    )
+    net_bytes = int(telemetry.metrics.counter("network_bytes_total").total())
+    reconciled = (
+        meter.total_messages() == net_messages
+        and meter.total_bytes() == net_bytes
+    )
+    print(
+        f"\nreconciliation: metered {meter.total_messages()} messages / "
+        f"{meter.total_bytes()} bytes; net counters {net_messages} / "
+        f"{net_bytes} -> {'ok' if reconciled else 'MISMATCH'}"
+    )
+    exit_code = 0 if reconciled else 1
+
+    charges = []
+    conservation = None
+    if args.charge:
+        from repro.testbed import Realm
+
+        bank = Realm(seed=b"usage-charge").accounting_server("usage-bank")
+        tariff = Tariff()
+        charges = bank.charge_usage(meter, tariff, period=args.figure)
+        problems = bank.ledger.audit_discrepancies()
+        conservation = "ok" if not problems else "VIOLATED"
+        print(f"\ncharges (tariff: {tariff.currency}):")
+        for charge in charges:
+            print(
+                f"  {charge.principal:<24} {charge.amount:>6} "
+                f"{charge.currency}  (posting {charge.posting_id})"
+            )
+        print(
+            f"ledger conservation after charging: {conservation} "
+            f"(totals {bank.ledger.totals()} == "
+            f"minted {bank.ledger.expected_totals()})"
+        )
+        for problem in problems:
+            print(f"  PROBLEM: {problem}")
+        if problems:
+            exit_code = 1
+
+    if args.json:
+        payload = {
+            "figure": args.figure,
+            "usage": meter.to_json(include_cpu=True),
+            "reconciliation": {
+                "ok": reconciled,
+                "metered_messages": meter.total_messages(),
+                "metered_bytes": meter.total_bytes(),
+                "net_messages": net_messages,
+                "net_bytes": net_bytes,
+            },
+        }
+        if args.charge:
+            payload["charges"] = charges_to_json(charges)
+            payload["conservation"] = conservation
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote {args.json}")
+    return exit_code
+
+
+def profile(args) -> int:
+    """Fold a run's spans (or a dump's) into flame-graph output."""
+    import json
+
+    from repro.obs.profile import (
+        folded_stacks,
+        render_call_tree,
+        speedscope_document,
+    )
+
+    if args.source:
+        from repro.obs.store import load_spans_jsonl
+
+        try:
+            with open(args.source, "r", encoding="utf-8") as handle:
+                spans = load_spans_jsonl(handle.read())
+        except (OSError, ValueError) as exc:
+            print(f"cannot load {args.source}: {exc}")
+            return 2
+        name = args.source
+    else:
+        if not args.figure:
+            raise SystemExit("profile needs a figure or --from SPANS.JSONL")
+        from repro.obs import Telemetry
+        from repro.obs.figures import run_figure
+
+        telemetry = Telemetry(capture_crypto=True, meter_usage=True)
+        try:
+            run_figure(args.figure, telemetry)
+        finally:
+            telemetry.release_crypto()
+        spans = telemetry.tracer.finished_spans()
+        name = args.figure
+
+    if args.tree:
+        print(f"== {name}: aggregated call tree ==\n")
+        print(render_call_tree(spans))
+        print()
+    lines = folded_stacks(spans, weight=args.weight)
+    print(f"== {name}: folded stacks (weight: {args.weight}) ==\n")
+    if lines:
+        for line in lines:
+            print(line)
+    else:
+        print(
+            "(no positive self-time on the simulated clock — offline "
+            "figures never advance it; try --weight count)"
+        )
+    if args.speedscope:
+        document = speedscope_document(spans, name=name)
+        with open(args.speedscope, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote {args.speedscope}")
+    return 0
+
+
 def forensics(args) -> int:
     """Offline forensics over a ``--jsonl`` span dump."""
     from repro.obs.export import render_trace_waterfall
@@ -433,6 +591,70 @@ def main(argv=None) -> None:
         action="store_true",
         help="stand up a KDC replica and kill the primary outright",
     )
+    usage_parser = sub.add_parser(
+        "usage",
+        help="per-principal usage metering report for a figure workload",
+    )
+    usage_parser.add_argument("figure", choices=sorted(FIGURES))
+    usage_parser.add_argument(
+        "--top",
+        type=int,
+        default=None,
+        metavar="N",
+        help="show only the N most byte-expensive (principal, operation) rows",
+    )
+    usage_parser.add_argument(
+        "--principal",
+        default="",
+        help="show only rows attributed to this principal",
+    )
+    usage_parser.add_argument(
+        "--cpu",
+        action="store_true",
+        help="include measured crypto/handler CPU columns (not "
+        "deterministic across runs)",
+    )
+    usage_parser.add_argument(
+        "--charge",
+        action="store_true",
+        help="post tariffed charges through an accounting server's ledger "
+        "and machine-check conservation",
+    )
+    usage_parser.add_argument(
+        "--json", default="", help="write the usage report to a file"
+    )
+    profile_parser = sub.add_parser(
+        "profile",
+        help="fold a run's spans into flame-graph folded stacks",
+    )
+    profile_parser.add_argument(
+        "figure", nargs="?", choices=sorted(FIGURES)
+    )
+    profile_parser.add_argument(
+        "--from",
+        dest="source",
+        default="",
+        metavar="SPANS.JSONL",
+        help="profile a span dump written by 'trace --jsonl' instead of "
+        "running a figure",
+    )
+    profile_parser.add_argument(
+        "--weight",
+        choices=("time", "count"),
+        default="time",
+        help="stack weight: self-time microseconds (default) or span count",
+    )
+    profile_parser.add_argument(
+        "--tree",
+        action="store_true",
+        help="also print the aggregated call tree",
+    )
+    profile_parser.add_argument(
+        "--speedscope",
+        default="",
+        metavar="FILE",
+        help="write a speedscope-compatible JSON document",
+    )
     fuzz_parser = sub.add_parser(
         "fuzz",
         help="fuzz the accounting surface under conservation invariants",
@@ -462,6 +684,10 @@ def main(argv=None) -> None:
         "--json", default="", help="write the campaign summary to a file"
     )
     args = parser.parse_args(argv)
+    if args.command == "usage":
+        raise SystemExit(usage(args))
+    if args.command == "profile":
+        raise SystemExit(profile(args))
     if args.command == "fuzz":
         raise SystemExit(fuzz(args))
     if args.command == "chaos":

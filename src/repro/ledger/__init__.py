@@ -26,6 +26,7 @@ from repro.ledger.posting import (
     debit,
     place_hold,
     release_hold,
+    usage_charge,
 )
 
 __all__ = [
@@ -39,6 +40,7 @@ __all__ = [
     "debit",
     "place_hold",
     "release_hold",
+    "usage_charge",
     "AVAILABLE",
     "HOLD",
     "DEBIT",

@@ -102,6 +102,31 @@ def credit(account: str, currency: str, amount: int) -> Leg:
     return Leg(account=account, side=CREDIT, currency=currency, amount=amount)
 
 
+def usage_charge(
+    account: str,
+    revenue_account: str,
+    currency: str,
+    amount: int,
+    description: str = "",
+) -> Posting:
+    """A conserved transfer charging ``account`` for metered usage (§4).
+
+    Usage charges are deliberately *ordinary* postings — debit the
+    responsible principal, credit the server's revenue account — so the
+    conservation machinery (per-posting balance, derived totals,
+    :meth:`~repro.ledger.ledger.Ledger.audit_discrepancies`) checks
+    billing exactly as it checks check clearing.
+    """
+    return Posting(
+        legs=(
+            debit(account, currency, amount),
+            credit(revenue_account, currency, amount),
+        ),
+        kind=TRANSFER,
+        description=description or f"usage charge {account}",
+    )
+
+
 def place_hold(
     account: str,
     currency: str,

@@ -23,6 +23,14 @@ from repro.encoding.identifiers import PrincipalId
 
 _msg_counter = itertools.count(1)
 
+#: Payload keys that are *envelope* metadata riding inside the payload
+#: dict for convenience (the resilience layer's retry id).  Like
+#: ``traceparent``, they exist so the infrastructure can correlate and
+#: dedupe — a real wire protocol would carry them in a header — so they
+#: are excluded from the canonical encoding that ``wire_size`` measures:
+#: byte counts are identical with resilience on or off.
+ENVELOPE_KEYS = ("_rid",)
+
 
 @dataclass(frozen=True)
 class Message:
@@ -61,13 +69,18 @@ class Message:
         cached = self.__dict__.get("_wire_size")
         if cached is not None:
             return cached
+        payload = self.payload
+        if any(key in payload for key in ENVELOPE_KEYS):
+            payload = {
+                k: v for k, v in payload.items() if k not in ENVELOPE_KEYS
+            }
         size = len(
             encode(
                 [
                     self.source.to_wire(),
                     self.destination.to_wire(),
                     self.msg_type,
-                    self.payload,
+                    payload,
                 ]
             )
         )

@@ -17,7 +17,6 @@ types they were, which is what makes failure-path experiments explainable.
 
 from __future__ import annotations
 
-import warnings
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
@@ -64,16 +63,6 @@ class MetricsSnapshot:
                 self.dropped_by_pair, later.dropped_by_pair
             ),
         )
-
-    def delta(self, later: "MetricsSnapshot") -> "MetricsSnapshot":
-        """Deprecated alias of :meth:`delta_to` (the name read backwards)."""
-        warnings.warn(
-            "MetricsSnapshot.delta is deprecated; use delta_to "
-            "(identical semantics, unambiguous direction)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.delta_to(later)
 
     def messages_to(self, destination: PrincipalId) -> int:
         """Messages delivered to one principal (e.g. 'how often was the

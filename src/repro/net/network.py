@@ -183,6 +183,18 @@ class Network:
                 help="Wire bytes carried, by message type.",
                 msg_type=message.msg_type,
             )
+            # Per-principal attribution shares this exact metering point
+            # (one call per message, same wire_size), so the usage
+            # meter's byte totals reconcile with the counters above.
+            if telemetry.usage is not None:
+                telemetry.usage.on_wire(
+                    telemetry.current_trace_id(),
+                    str(message.source),
+                    str(message.destination),
+                    message.msg_type,
+                    size,
+                    response=message.in_reply_to is not None,
+                )
         for tap in self._taps:
             tap(message)
         return size

@@ -20,7 +20,13 @@ goes*.  This package instruments both:
 * :mod:`repro.obs.export` — JSON-lines traces, Prometheus text exposition,
   and human-readable trace/figure/waterfall renderers;
 * :mod:`repro.obs.figures` — runnable paper-figure protocols for
-  ``python -m repro trace <figure>``.
+  ``python -m repro trace <figure>``;
+* :mod:`repro.obs.usage` — the :class:`UsageMeter`: wire bytes, crypto
+  and handler time, retries, and degraded grants attributed to the
+  *responsible principal*, priced by a :class:`Tariff` and postable
+  into the ledger as conserved charges (§4 usage accounting);
+* :mod:`repro.obs.profile` — folds finished spans into a self-time call
+  tree with folded-stack / speedscope flame-graph export.
 """
 
 from repro.obs.context import TraceContext, span_hex_id
@@ -39,9 +45,23 @@ from repro.obs.metrics import (
     MetricsRegistry,
     SIZE_BUCKETS,
 )
+from repro.obs.profile import (
+    folded_stacks,
+    frame_name,
+    render_call_tree,
+    self_times,
+    speedscope_document,
+)
 from repro.obs.store import TraceStore, load_spans_jsonl, validate_spans
 from repro.obs.telemetry import NO_TELEMETRY, NullTelemetry, Telemetry
 from repro.obs.trace import Span, SpanEvent, Tracer
+from repro.obs.usage import (
+    QuantileDigest,
+    Tariff,
+    UsageMeter,
+    UsageRecord,
+    post_usage_charges,
+)
 
 __all__ = [
     "Telemetry",
@@ -66,4 +86,14 @@ __all__ = [
     "render_message_trace",
     "render_trace_waterfall",
     "prometheus_text",
+    "UsageMeter",
+    "UsageRecord",
+    "QuantileDigest",
+    "Tariff",
+    "post_usage_charges",
+    "folded_stacks",
+    "frame_name",
+    "render_call_tree",
+    "self_times",
+    "speedscope_document",
 ]

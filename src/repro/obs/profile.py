@@ -1,0 +1,213 @@
+"""Flame-graph profiling over finished spans.
+
+A trace is already a tree of timed activities; this module folds the
+spans a :class:`~repro.obs.store.TraceStore` (or a ``spans.jsonl`` dump)
+collected into the two formats flame-graph tools consume:
+
+* **Folded stacks** (``frame;frame;frame value``) — one line per unique
+  root-to-frame path, weighted by *self time* in whole microseconds on
+  the simulated clock (or by span count with ``weight="count"``, useful
+  for the offline figures where the clock never advances).  The output
+  is sorted, so the same spans always fold to byte-identical text —
+  and spans round-tripped through
+  :func:`~repro.obs.store.load_spans_jsonl` fold identically.
+* **Speedscope documents** — an ``evented`` profile per trace, loadable
+  at https://www.speedscope.app or any compatible viewer.
+
+Frames are named by span name plus the attribute that distinguishes the
+interesting ones (``net.send:write-check``), so stacks merge by protocol
+step rather than by individual principal-to-principal edge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.trace import Span
+
+#: span name -> attributes appended to the frame name, in order.
+_FRAME_DETAIL = {
+    "net.send": ("msg_type",),
+    "rpc.handle": ("service", "msg_type"),
+    "resil.send": ("msg_type",),
+    "resil.attempt": ("msg_type",),
+    "fig.step": ("step",),
+    "op.exec": ("service", "operation"),
+    "verify.chain": ("grantor",),
+}
+
+
+def frame_name(span: Span) -> str:
+    """The flame-graph frame a span folds into."""
+    detail = _FRAME_DETAIL.get(span.name)
+    if not detail:
+        return span.name
+    parts = [span.name]
+    for attr in detail:
+        value = span.attributes.get(attr)
+        if value is not None and value != "":
+            parts.append(str(value))
+    return ":".join(parts)
+
+
+def self_times(spans: Iterable[Span]) -> Dict[int, float]:
+    """span_id -> duration minus the durations of its (present) children."""
+    finished = [s for s in spans if s.end is not None]
+    child_time: Dict[int, float] = {}
+    by_id = {s.span_id: s for s in finished}
+    for span in finished:
+        if span.parent_id in by_id:
+            child_time[span.parent_id] = (
+                child_time.get(span.parent_id, 0.0) + span.duration
+            )
+    return {
+        s.span_id: max(s.duration - child_time.get(s.span_id, 0.0), 0.0)
+        for s in finished
+    }
+
+
+def _stack_of(span: Span, by_id: Dict[int, Span]) -> Tuple[str, ...]:
+    """Root-to-span chain of frame names (remote parents root the stack)."""
+    frames: List[str] = []
+    seen = set()
+    current: Optional[Span] = span
+    while current is not None and current.span_id not in seen:
+        seen.add(current.span_id)
+        frames.append(frame_name(current))
+        current = (
+            by_id.get(current.parent_id)
+            if current.parent_id is not None
+            else None
+        )
+    return tuple(reversed(frames))
+
+
+def folded_stacks(spans: Iterable[Span], weight: str = "time") -> List[str]:
+    """Fold spans into ``frame;frame value`` lines, sorted.
+
+    ``weight="time"`` values each path by accumulated self time in whole
+    microseconds (simulated clock) and drops zero-weight paths —
+    flame-graph tools require positive counts.  ``weight="count"``
+    values each path by the number of spans that folded into it.
+    """
+    if weight not in ("time", "count"):
+        raise ValueError("weight must be 'time' or 'count'")
+    finished = [s for s in spans if s.end is not None]
+    by_id = {s.span_id: s for s in finished}
+    selfs = self_times(finished)
+    folded: Dict[Tuple[str, ...], float] = {}
+    for span in finished:
+        value = selfs[span.span_id] if weight == "time" else 1
+        stack = _stack_of(span, by_id)
+        folded[stack] = folded.get(stack, 0.0) + value
+    lines = []
+    for stack, value in folded.items():
+        amount = (
+            int(round(value * 1_000_000)) if weight == "time" else int(value)
+        )
+        if amount > 0:
+            lines.append(";".join(stack) + f" {amount}")
+    return sorted(lines)
+
+
+def render_call_tree(spans: Iterable[Span]) -> str:
+    """Aggregated call tree: count, total, and self time per frame path."""
+    finished = [s for s in spans if s.end is not None]
+    by_id = {s.span_id: s for s in finished}
+    selfs = self_times(finished)
+    # Aggregate (path -> [count, total, self]); paths are hierarchical.
+    stats: Dict[Tuple[str, ...], List[float]] = {}
+    for span in finished:
+        path = _stack_of(span, by_id)
+        entry = stats.setdefault(path, [0, 0.0, 0.0])
+        entry[0] += 1
+        entry[1] += span.duration
+        entry[2] += selfs[span.span_id]
+    header = f"{'count':>5} {'total(s)':>10} {'self(s)':>10}  frame"
+    lines = [header, "-" * len(header)]
+    for path in sorted(stats):
+        count, total, self_time = stats[path]
+        indent = "  " * (len(path) - 1)
+        lines.append(
+            f"{count:>5.0f} {total:>10.6f} {self_time:>10.6f}  "
+            f"{indent}{path[-1]}"
+        )
+    return "\n".join(lines)
+
+
+def speedscope_document(
+    spans: Iterable[Span], name: str = "repro"
+) -> dict:
+    """A speedscope file: one ``evented`` profile per trace.
+
+    Events come from a depth-first walk of each trace's span tree, so
+    open/close events nest properly even when several siblings share
+    timestamps (the simulated clock only advances on network hops).
+    """
+    finished = sorted(
+        (s for s in spans if s.end is not None),
+        key=lambda s: (s.start, s.span_id),
+    )
+    frames: List[dict] = []
+    frame_index: Dict[str, int] = {}
+
+    def index_of(label: str) -> int:
+        if label not in frame_index:
+            frame_index[label] = len(frames)
+            frames.append({"name": label})
+        return frame_index[label]
+
+    by_trace: Dict[str, List[Span]] = {}
+    for span in finished:
+        by_trace.setdefault(span.trace_id or "", []).append(span)
+
+    profiles = []
+    for trace_id in sorted(by_trace):
+        members = by_trace[trace_id]
+        children: Dict[Optional[int], List[Span]] = {}
+        ids = {s.span_id for s in members}
+        for span in members:
+            parent = span.parent_id if span.parent_id in ids else None
+            children.setdefault(parent, []).append(span)
+        events: List[dict] = []
+
+        def emit(span: Span) -> None:
+            frame = index_of(frame_name(span))
+            events.append({"type": "O", "frame": frame, "at": span.start})
+            for child in sorted(
+                children.get(span.span_id, []),
+                key=lambda s: (s.start, s.span_id),
+            ):
+                emit(child)
+            events.append({"type": "C", "frame": frame, "at": span.end})
+
+        for root in sorted(
+            children.get(None, []), key=lambda s: (s.start, s.span_id)
+        ):
+            emit(root)
+        profiles.append(
+            {
+                "type": "evented",
+                "name": trace_id or "(untraced)",
+                "unit": "seconds",
+                "startValue": min(s.start for s in members),
+                "endValue": max(s.end for s in members),
+                "events": events,
+            }
+        )
+    return {
+        "$schema": "https://www.speedscope.app/file-format-schema.json",
+        "name": name,
+        "exporter": "repro-profiler",
+        "shared": {"frames": frames},
+        "profiles": profiles,
+    }
+
+
+__all__ = [
+    "folded_stacks",
+    "frame_name",
+    "render_call_tree",
+    "self_times",
+    "speedscope_document",
+]

@@ -87,6 +87,7 @@ class NullTelemetry:
     metrics = None
     clock = None
     store = None
+    usage = None
 
     def __bool__(self) -> bool:
         return False
@@ -153,12 +154,20 @@ class Telemetry:
             ``signature_seconds`` histogram.  Process-wide because signers
             are value objects with no back-pointer to a deployment; release
             with :meth:`release_crypto` (or let the next capture replace it).
+        meter_usage: attach a :class:`~repro.obs.usage.UsageMeter` as
+            ``self.usage`` — the network, services, and crypto observer
+            then attribute wire bytes, handler time, and sign/verify time
+            to the responsible principal (§4 usage accounting).  Default
+            off: metering costs a dict update per wire message.
     """
 
     enabled = True
 
     def __init__(
-        self, clock: Optional[Clock] = None, capture_crypto: bool = False
+        self,
+        clock: Optional[Clock] = None,
+        capture_crypto: bool = False,
+        meter_usage: bool = False,
     ) -> None:
         self._clock_pinned = clock is not None
         self.clock: Clock = clock if clock is not None else SystemClock()
@@ -166,6 +175,13 @@ class Telemetry:
         self.metrics = MetricsRegistry()
         self.store = TraceStore()
         self.tracer.add_finish_listener(self.store.add)
+        self.usage = None
+        if meter_usage:
+            from repro.obs.usage import UsageMeter
+
+            self.usage = UsageMeter(now=lambda: self.clock.now())
+            self.usage.attach(self)
+            self.tracer.add_finish_listener(self.usage.on_span_finish)
         self._crypto_captured = False
         if capture_crypto:
             self.capture_crypto()
@@ -248,6 +264,15 @@ class Telemetry:
                 scheme=scheme,
                 op=op,
             )
+            if self.usage is not None:
+                self.usage.on_crypto(
+                    scheme,
+                    op,
+                    seconds,
+                    ok,
+                    trace_id=self.tracer.current_trace_id(),
+                    spans=self.tracer.active_spans(),
+                )
 
         def cache_observer(event: str, scheme: str) -> None:
             if event == "evict":

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.obs.context import TraceContext, span_hex_id
 
@@ -313,6 +313,10 @@ class Tracer:
     @property
     def current_span(self) -> Optional[Span]:
         return self._stack[-1] if self._stack else None
+
+    def active_spans(self) -> Tuple[Span, ...]:
+        """The open spans, outermost first (a snapshot of the stack)."""
+        return tuple(self._stack)
 
     @property
     def current_run_id(self) -> Optional[str]:

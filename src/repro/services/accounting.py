@@ -59,6 +59,7 @@ from repro.errors import (
     AccountingError,
     AuthorizationDenied,
     CheckError,
+    DecodingError,
     InsufficientFundsError,
     ServiceError,
     UnknownAccountError,
@@ -254,6 +255,47 @@ class AccountingServer(EndServer):
             raise UnknownAccountError(
                 f"no account {name!r} on {self.principal}"
             ) from None
+
+    def charge_usage(self, meter, tariff=None, period: str = ""):
+        """Post tariffed per-principal usage charges into this ledger (§4).
+
+        Prices ``meter``'s per-principal usage with ``tariff``, provisions
+        any missing accounts (minting exactly the amount owed — fixture
+        behavior, as with :meth:`create_account` seeding), and posts each
+        charge as a conserved transfer into the server-owned revenue
+        account.  ``period`` keys the postings' dedupe ids, so charging
+        the same period twice is idempotent.  Returns the list of
+        :class:`~repro.obs.usage.Charge` records.
+        """
+        from repro.obs.usage import REVENUE_ACCOUNT, Tariff, post_usage_charges
+
+        tariff = tariff or Tariff()
+        if REVENUE_ACCOUNT not in self.accounts:
+            self.create_account(REVENUE_ACCOUNT, self.principal)
+        for principal, record in sorted(meter.by_principal().items()):
+            cost = tariff.price(record)
+            if cost <= 0:
+                continue
+            if principal not in self.accounts:
+                try:
+                    owner = PrincipalId.from_wire(principal)
+                except (DecodingError, ValueError):
+                    # Fallback attributions ("(unattributed)", service
+                    # names) are not wire principal ids; the server owns
+                    # their accrual account.
+                    owner = self.principal
+                self.create_account(
+                    principal, owner, {tariff.currency: cost}
+                )
+            else:
+                shortfall = cost - self.accounts[principal].balance(
+                    tariff.currency
+                )
+                if shortfall > 0:
+                    self.mint(principal, tariff.currency, shortfall)
+        return post_usage_charges(
+            self.ledger, meter, tariff, period=period
+        )
 
     def _settlement_account(self, peer: PrincipalId) -> Account:
         """The local account holding ``peer``'s inter-server claims.

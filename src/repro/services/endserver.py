@@ -385,4 +385,14 @@ class EndServer(Service):
             ),
             request_id=payload.get("_rid"),
         )
+        if self.telemetry.usage is not None:
+            # Metered runs get a handler-proper frame: the profiler can
+            # split authorization overhead from the operation itself.
+            with self.telemetry.span(
+                "op.exec",
+                service=str(self.principal),
+                operation=operation,
+                principal=str(rights),
+            ):
+                return handler(request)
         return handler(request)

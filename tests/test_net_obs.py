@@ -142,14 +142,11 @@ class TestSnapshotDelta:
             == before.delta_to(network.metrics.snapshot()).messages
         )
 
-    def test_deprecated_delta_alias_warns_and_agrees(self):
+    def test_deprecated_delta_alias_is_gone(self):
+        # delta_to is the API; the backwards-reading alias was removed.
         network = build_network()
         before = network.metrics.snapshot()
-        network.send(ALICE, BOB, "ping", {})
-        after = network.metrics.snapshot()
-        with pytest.warns(DeprecationWarning, match="delta_to"):
-            legacy = before.delta(after)
-        assert legacy == before.delta_to(after)
+        assert not hasattr(before, "delta")
 
     def test_drop_attribution_survives_the_delta(self):
         network = build_network()

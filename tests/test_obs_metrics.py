@@ -225,3 +225,84 @@ class TestExpositionConformance:
         h.observe(0.02, exemplar="c" * 32)
         ((_, series),) = h.series()
         assert series.exemplars[0] == ("c" * 32, 0.02)
+
+
+class TestUsageExpositionConformance:
+    """The usage meter's mirrored ``usage.*`` metrics must honor the same
+    format invariants as every other family."""
+
+    @pytest.fixture(scope="class")
+    def usage_text(self):
+        from repro.obs import Telemetry
+        from repro.obs.figures import run_figure
+
+        telemetry = Telemetry(capture_crypto=True, meter_usage=True)
+        try:
+            run_figure("fig5", telemetry)
+        finally:
+            telemetry.release_crypto()
+        return telemetry, prometheus_text(telemetry.metrics)
+
+    def test_dotted_usage_names_are_sanitized(self, usage_text):
+        _, text = usage_text
+        assert "usage_messages_total{" in text
+        assert "usage_bytes_total{" in text
+        assert "usage_request_seconds_bucket{" in text
+        assert "usage.messages_total" not in text
+
+    def test_every_usage_sample_name_is_legal(self, usage_text):
+        import re
+
+        _, text = usage_text
+        legal = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+        seen = 0
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            sample = line.split("{")[0].split(" ")[0]
+            if sample.startswith("usage_"):
+                seen += 1
+                assert legal.match(sample), line
+        assert seen > 0
+
+    def test_usage_histogram_buckets_are_cumulative(self, usage_text):
+        _, text = usage_text
+        per_series = {}
+        for line in text.splitlines():
+            if not line.startswith("usage_request_seconds_bucket"):
+                continue
+            labels = line.split("{", 1)[1].split("}", 1)[0]
+            principal = [
+                pair for pair in labels.split(",")
+                if pair.startswith("principal=")
+            ][0]
+            count = int(line.split("}", 1)[1].strip().split(" ")[0])
+            per_series.setdefault(principal, []).append(count)
+        assert per_series
+        for principal, counts in per_series.items():
+            assert counts == sorted(counts), (
+                f"{principal}: bucket counts must be cumulative"
+            )
+
+    def test_usage_exemplars_carry_trace_ids(self, usage_text):
+        import re
+
+        _, text = usage_text
+        exemplars = re.findall(
+            r'usage_request_seconds_bucket\{[^}]*\} \d+ '
+            r'# \{trace_id="([0-9a-f]{32})"\}',
+            text,
+        )
+        assert exemplars, "metered wire sends must emit bucket exemplars"
+
+    def test_mirrored_counters_agree_with_the_meter(self, usage_text):
+        telemetry, _ = usage_text
+        meter = telemetry.usage
+        assert (
+            telemetry.metrics.counter("usage.messages_total").total()
+            == meter.total_messages()
+        )
+        assert (
+            telemetry.metrics.counter("usage.bytes_total").total()
+            == meter.total_bytes()
+        )
