@@ -1,0 +1,283 @@
+"""C11 — cold-path chain verification: batched + precomputed vs per-signature.
+
+PR 2's caches made *warm* chains cheap; this benchmark measures the cold
+path they never touch — every presentation fully re-verified (all caches
+disabled) — under three arms:
+
+* **baseline** — per-signature verification with fixed-base precompute
+  disabled: the pre-batching cost model (square-and-multiply ``pow()``
+  per exponentiation, one ``verify()`` per link);
+* **tables** — per-signature verification with the fixed-base generator
+  tables enabled;
+* **batched** — the full fast path: generator + registered-identity-key
+  tables plus the one-shot multi-scalar batch check per chain.
+
+Two cascade shapes at depths 2/4/8:
+
+* **delegate** chains (Fig. 4 with an audit trail) — every link signed
+  by a *registered* identity key, the CERN-style mediated-delegation
+  workload where per-verifier key tables apply to every link.  This is
+  the gated workload: batched must beat baseline by ``--min-speedup``
+  (2.0 by default) at depth 8.
+* **bearer** chains — links signed by one-shot embedded proxy keys that
+  can never earn a precompute table, so only the generator-side work
+  accelerates.  Reported for honesty, not gated.
+
+Run under pytest for the timing fixtures, or as a script::
+
+    PYTHONPATH=src python benchmarks/bench_c11_batch_verify.py \
+        --json BENCH_batch_verify.json --smoke
+"""
+
+import argparse
+import dataclasses
+import sys
+import time
+
+import pytest
+
+from conftest import bench_payload, report, write_bench_json
+from repro.clock import SimulatedClock
+from repro.core.evaluation import RequestContext
+from repro.core.presentation import present
+from repro.core.proxy import cascade, delegate_cascade, grant_public
+from repro.core.restrictions import Grantee
+from repro.core.vcache import DISABLED_CONFIG, override as vcache_override
+from repro.core.verification import ProxyVerifier, PublicKeyCrypto
+from repro.crypto import schnorr
+from repro.crypto.dh import TEST_GROUP
+from repro.crypto.rng import Rng
+from repro.crypto.signature import SchnorrSigner
+from repro.encoding.identifiers import PrincipalId
+
+START = 1_000_000.0
+ALICE = PrincipalId("alice")
+CAROL = PrincipalId("carol")
+SERVER = PrincipalId("server")
+DEPTHS = (2, 4, 8)
+
+SEQUENTIAL = dataclasses.replace(DISABLED_CONFIG, batch_verify=False)
+BATCHED = DISABLED_CONFIG  # caches off, batch_verify on
+
+ARMS = (
+    ("baseline", SEQUENTIAL, False),
+    ("tables", SEQUENTIAL, True),
+    ("batched", BATCHED, True),
+)
+
+
+def build_bearer_chain(depth):
+    """Fig. 4 bearer cascade: links signed by one-shot proxy keys."""
+    rng = Rng(seed=b"c11-bearer-%d" % depth)
+    clock = SimulatedClock(START)
+    identity = schnorr.generate_keypair(TEST_GROUP, rng=rng)
+    proxy = grant_public(
+        ALICE, SchnorrSigner(identity), (), START, START + 3600, rng,
+        group=TEST_GROUP,
+    )
+    for _ in range(depth - 1):
+        proxy = cascade(proxy, (), START, START + 3600, rng)
+    crypto = PublicKeyCrypto(
+        directory={ALICE: SchnorrSigner(identity).verifier()}
+    )
+    return clock, crypto, proxy, None
+
+
+def build_delegate_chain(depth):
+    """Audit-trail cascade: every link signed by a registered identity."""
+    rng = Rng(seed=b"c11-delegate-%d" % depth)
+    clock = SimulatedClock(START)
+    directory = {}
+    identity = schnorr.generate_keypair(TEST_GROUP, rng=rng)
+    directory[ALICE] = SchnorrSigner(identity).verifier()
+    relays = [PrincipalId(f"relay-{i}") for i in range(depth - 1)]
+    first = relays[0] if relays else CAROL
+    proxy = grant_public(
+        ALICE, SchnorrSigner(identity), (Grantee(principals=(first,)),),
+        START, START + 3600, rng, group=TEST_GROUP,
+    )
+    for i, relay in enumerate(relays):
+        relay_identity = schnorr.generate_keypair(TEST_GROUP, rng=rng)
+        directory[relay] = SchnorrSigner(relay_identity).verifier()
+        nxt = relays[i + 1] if i + 1 < len(relays) else CAROL
+        proxy = delegate_cascade(
+            proxy, relay, SchnorrSigner(relay_identity), nxt,
+            (), START, START + 3600, rng=rng, group=TEST_GROUP,
+        )
+    return clock, PublicKeyCrypto(directory=directory), proxy, CAROL
+
+
+WORKLOADS = (
+    ("delegate", build_delegate_chain),
+    ("bearer", build_bearer_chain),
+)
+
+
+def measure(builder, depth, config, precompute, iterations):
+    """Cold-verify ``iterations`` fresh presentations of one chain.
+
+    All verification caches are off, so every presentation re-verifies
+    the whole chain; presentations are pre-signed so presenter cost is
+    excluded from the timing.  Returns verifications per second.
+    """
+    clock, crypto, proxy, claimant = builder(depth)
+    schnorr.clear_key_tables()
+    with vcache_override(config):
+        verifier = ProxyVerifier(server=SERVER, crypto=crypto, clock=clock)
+        presentations = [
+            present(proxy, SERVER, clock.now(), "read", claimant=claimant)
+            for _ in range(iterations + 1)
+        ]
+        context = RequestContext(
+            server=SERVER, operation="read", claimant=claimant
+        )
+        previous = schnorr.set_precompute(precompute)
+        try:
+            # One warm-up pass so one-time costs (identity-key table
+            # registration) land outside the steady-state timing, exactly
+            # as they amortize across a long-lived verifier process.
+            verifier.verify(presentations[0], context)
+            start = time.perf_counter()
+            for presented in presentations[1:]:
+                verifier.verify(presented, context)
+            elapsed = time.perf_counter() - start
+        finally:
+            schnorr.set_precompute(previous)
+    return iterations / elapsed if elapsed > 0 else float("inf")
+
+
+def run_comparison(iterations, min_speedup):
+    """The full three-arm comparison; returns the JSON payload."""
+    results = {}
+    rows = []
+    for workload, builder in WORKLOADS:
+        per_depth = {}
+        for depth in DEPTHS:
+            arms = {
+                name: measure(builder, depth, config, precompute, iterations)
+                for name, config, precompute in ARMS
+            }
+            baseline = arms["baseline"]
+            per_depth[str(depth)] = {
+                "baseline_ops_per_sec": round(baseline, 2),
+                "tables_ops_per_sec": round(arms["tables"], 2),
+                "batched_ops_per_sec": round(arms["batched"], 2),
+                "tables_speedup": round(arms["tables"] / baseline, 3),
+                "batched_speedup": round(arms["batched"] / baseline, 3),
+            }
+            rows.append(
+                (
+                    workload,
+                    str(depth),
+                    f"{baseline:.1f}",
+                    f"{arms['tables']:.1f}",
+                    f"{arms['batched']:.1f}",
+                    f"{per_depth[str(depth)]['batched_speedup']:.2f}x",
+                )
+            )
+        results[workload] = per_depth
+    report(
+        "C11: cold-path cascade verification, per-signature vs batched",
+        rows,
+        ("workload", "depth", "baseline/s", "tables/s", "batched/s",
+         "speedup"),
+    )
+    gate = results["delegate"]["8"]["batched_speedup"]
+    return {
+        "benchmark": "batch_verify",
+        "workload": "cold-cascade-depths-2-4-8",
+        "min_speedup": min_speedup,
+        # The headline: batched delegate cascades at depth 8 vs the
+        # per-signature, no-precompute baseline.
+        "speedup": gate,
+        "passed": gate >= min_speedup,
+        "workloads": results,
+    }
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("batched", [True, False], ids=["batched", "sequential"])
+def test_delegate_cascade_cold_verify(benchmark, batched):
+    clock, crypto, proxy, claimant = build_delegate_chain(4)
+    config = BATCHED if batched else SEQUENTIAL
+    with vcache_override(config):
+        verifier = ProxyVerifier(server=SERVER, crypto=crypto, clock=clock)
+        context = RequestContext(
+            server=SERVER, operation="read", claimant=claimant
+        )
+
+        def run():
+            presented = present(
+                proxy, SERVER, clock.now(), "read", claimant=claimant
+            )
+            return verifier.verify(presented, context)
+
+        result = benchmark(run)
+    assert result.chain_length == 4
+
+
+def test_batched_faster_than_baseline(benchmark):
+    """The acceptance claim, in-suite: a quick comparison run."""
+    payload = run_comparison(iterations=8, min_speedup=1.0)
+    assert payload["workloads"]["delegate"]["8"]["batched_speedup"] > 1.0
+    benchmark(lambda: None)
+
+
+# ---------------------------------------------------------------------------
+# script mode (CI writes BENCH_batch_verify.json from here)
+# ---------------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--json", default="", help="write results to this JSON file"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small iteration count and a forgiving speedup floor (CI)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail unless batched delegate depth-8 verification is this "
+        "many times faster than the per-signature baseline "
+        "(default 2.0, or 1.5 with --smoke)",
+    )
+    args = parser.parse_args(argv)
+    iterations = 6 if args.smoke else 25
+    min_speedup = (
+        args.min_speedup
+        if args.min_speedup is not None
+        else (1.5 if args.smoke else 2.0)
+    )
+    payload = run_comparison(iterations, min_speedup)
+    write_bench_json(
+        args.json,
+        bench_payload(
+            name="batch_verify",
+            config={
+                "iterations": iterations,
+                "min_speedup": min_speedup,
+                "depths": list(DEPTHS),
+            },
+            metrics=payload,
+            passed=payload["passed"],
+        ),
+    )
+    if not payload["passed"]:
+        print(
+            f"FAIL: batched delegate depth-8 speedup "
+            f"{payload['speedup']} < {min_speedup}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -145,9 +145,12 @@ def trace(
     jsonl: str = "",
     metrics: bool = True,
     verify_cache: bool = True,
+    batch_verify: bool = True,
     follow: str = "",
 ) -> None:
     """Replay one figure under telemetry and print every view of it."""
+    import dataclasses
+
     from repro.core import vcache
     from repro.obs import Telemetry, render_trace_waterfall
     from repro.obs.figures import run_figure
@@ -155,6 +158,8 @@ def trace(
     config = (
         vcache.DEFAULT_CONFIG if verify_cache else vcache.DISABLED_CONFIG
     )
+    if not batch_verify:
+        config = dataclasses.replace(config, batch_verify=False)
     telemetry = Telemetry(capture_crypto=True)
     try:
         with vcache.override(config):
@@ -207,6 +212,17 @@ def trace(
             f"  chain prefixes: {chain_hit:.0f} hits, {chain_miss:.0f} misses"
         )
         print(f"  evictions: {evictions:.0f}")
+        batches = counters.counter("vcache.batch.batches").total()
+        batch_sigs = counters.counter("vcache.batch.signatures").total()
+        bisections = counters.counter(
+            "vcache.batch.fallback_bisections"
+        ).total()
+        batch_state = "on" if batch_verify else "off (--no-batch-verify)"
+        print(f"batch verify: {batch_state}")
+        print(
+            f"  batches: {batches:.0f} covering {batch_sigs:.0f} signatures, "
+            f"{bisections:.0f} fallback bisections"
+        )
     if jsonl:
         with open(jsonl, "w", encoding="utf-8") as handle:
             handle.write(telemetry.spans_jsonl() + "\n")
@@ -520,6 +536,11 @@ def main(argv=None) -> None:
         help="run with the verification fast path disabled",
     )
     trace_parser.add_argument(
+        "--no-batch-verify",
+        action="store_true",
+        help="verify chain signatures one at a time instead of batched",
+    )
+    trace_parser.add_argument(
         "--follow",
         default="",
         metavar="TRACE_ID",
@@ -700,6 +721,7 @@ def main(argv=None) -> None:
             jsonl=args.jsonl,
             metrics=not args.no_metrics,
             verify_cache=not args.no_verify_cache,
+            batch_verify=not args.no_batch_verify,
             follow=args.follow,
         )
     else:

@@ -45,11 +45,19 @@ class VerificationCacheConfig:
             cache *and* the global signature memo.
         signature_cache_size: LRU capacity of the shared signature memo.
         chain_cache_size: LRU capacity of each verifier's prefix cache.
+        batch_verify: when True the verifier collects a chain's stage
+            1–2 signature checks into one
+            :func:`repro.crypto.signature.verify_batch` call instead of
+            k sequential verifies.  Independent of ``enabled`` — it
+            changes how cold-path signatures are computed, never what is
+            accepted, so it composes with the caches in any combination
+            (``--no-batch-verify`` flips it from the trace CLI).
     """
 
     enabled: bool = True
     signature_cache_size: int = 4096
     chain_cache_size: int = 1024
+    batch_verify: bool = True
 
     def build_chain_cache(self) -> Optional["ChainPrefixCache"]:
         if not self.enabled:

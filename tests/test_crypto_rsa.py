@@ -59,6 +59,17 @@ class TestSignatures:
         with pytest.raises(SignatureError):
             rsa.verify(key.public, b"m", b"\x01" * 10)
 
+    def test_out_of_range_signature_rejected_before_exponentiation(self, key):
+        # A correctly-sized signature whose integer value is >= n must be
+        # rejected by the range guard, not fed to the modular
+        # exponentiation (cheap DoS hardening, mirrors Schnorr's checks).
+        too_big = (key.n + 1).to_bytes(key.public.byte_length, "big")
+        with pytest.raises(SignatureError, match="out of range"):
+            rsa.verify(key.public, b"m", too_big)
+        exactly_n = key.n.to_bytes(key.public.byte_length, "big")
+        with pytest.raises(SignatureError, match="out of range"):
+            rsa.verify(key.public, b"m", exactly_n)
+
     def test_empty_message_signable(self, key):
         sig = rsa.sign(key, b"")
         rsa.verify(key.public, b"", sig)
