@@ -126,3 +126,62 @@ def test_authenticator_cache_register(benchmark, live_entries):
         return cache.register(b"id-%d" % counter[0])
 
     assert benchmark(run)
+
+
+# -- delivery substrate: one round trip, per mode ---------------------------
+#
+# The cost the asyncio runtime adds to a single request: the sync network
+# calls the handler inline; the aio network hops the request onto the event
+# loop, through an inbox queue, and settles a future back across threads.
+# The delta is the per-request price of concurrency (amortized away under
+# wire latency — bench_c12_async_load.py measures that trade at load).
+
+
+def _echo_handler(message):
+    return {"echo": message.payload["x"]}
+
+
+def test_net_sync_round_trip(benchmark):
+    from repro.net.network import Network
+
+    clock = SimulatedClock()
+    net = Network(clock, rng=Rng(seed=b"substrate-net"))
+    ep = PrincipalId("echo")
+    net.register(ep, _echo_handler)
+    client = PrincipalId("client")
+    assert benchmark(net.send, client, ep, "ping", {"x": 1}) == {"echo": 1}
+
+
+def test_net_aio_queued_round_trip(benchmark):
+    import asyncio
+    import threading
+
+    from repro.net.aio import AioNetwork
+
+    clock = SimulatedClock()
+    net = AioNetwork(clock, rng=Rng(seed=b"substrate-aio"))
+    ep = PrincipalId("echo")
+    net.register(ep, _echo_handler)
+    client = PrincipalId("client")
+    ready = threading.Event()
+    stop = threading.Event()
+
+    def loop_main():
+        async def _run():
+            async with net.serve():
+                ready.set()
+                while not stop.is_set():
+                    await asyncio.sleep(0.0005)
+
+        asyncio.run(_run())
+
+    runner = threading.Thread(target=loop_main)
+    runner.start()
+    ready.wait()
+    try:
+        assert benchmark(net.send, client, ep, "ping", {"x": 1}) == {
+            "echo": 1
+        }
+    finally:
+        stop.set()
+        runner.join()

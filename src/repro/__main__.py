@@ -38,6 +38,13 @@ conservation afterwards.  Exits non-zero on any mismatch.
 the run's spans into flame-graph folded stacks — self-time on the
 simulated clock by default, span counts with ``--weight count`` — and
 can write a speedscope document with ``--speedscope``.
+
+``python -m repro load <scenario>`` drives many concurrent principals
+against a realm on the asyncio runtime (``--mode sync`` for the
+single-thread baseline) and reports throughput, p50/p95/p99 latency,
+cross-request batching counters, and the scenario's conservation
+verdict (``--usage`` adds the metering reconciliation line).  Exits
+non-zero if any post-run invariant failed.  See ``docs/scaling.md``.
 """
 
 from __future__ import annotations
@@ -510,6 +517,38 @@ def forensics(args) -> int:
     return 0
 
 
+def load(args) -> int:
+    """Concurrent load run: throughput, percentiles, invariants."""
+    import json
+
+    from repro.workloads.load import LoadConfig, run_load
+
+    config = LoadConfig(
+        scenario=args.scenario,
+        principals=args.principals,
+        ops=args.ops,
+        duration=args.duration,
+        concurrency=args.concurrency,
+        mode=args.mode,
+        seed=args.seed,
+        time_dilation=args.time_dilation,
+        base_latency=args.base_latency,
+        jitter=args.jitter,
+        max_batch=args.max_batch,
+        request_timeout=args.request_timeout,
+        meter_usage=args.usage,
+        prefetch=not args.no_prefetch,
+    )
+    report = run_load(config)
+    print(report.render())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote {args.json}")
+    return 1 if report.problems else 0
+
+
 def main(argv=None) -> None:
     from repro.obs.figures import FIGURES
 
@@ -704,7 +743,105 @@ def main(argv=None) -> None:
     fuzz_parser.add_argument(
         "--json", default="", help="write the campaign summary to a file"
     )
+    from repro.workloads.load import SCENARIOS
+
+    load_parser = sub.add_parser(
+        "load",
+        help="drive N concurrent principals and report throughput + "
+        "latency percentiles",
+    )
+    load_parser.add_argument("scenario", choices=sorted(SCENARIOS))
+    load_parser.add_argument(
+        "--principals",
+        type=int,
+        default=100,
+        metavar="N",
+        help="independent principals to provision and drive (default 100)",
+    )
+    load_parser.add_argument(
+        "--ops",
+        type=int,
+        default=3,
+        metavar="K",
+        help="requests per principal (default 3)",
+    )
+    load_parser.add_argument(
+        "--duration",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="wall-clock cap; 0 runs every stream to completion (default)",
+    )
+    load_parser.add_argument(
+        "--concurrency",
+        type=int,
+        default=64,
+        metavar="C",
+        help="client requests allowed in flight at once (default 64)",
+    )
+    load_parser.add_argument(
+        "--mode",
+        choices=("aio", "sync"),
+        default="aio",
+        help="delivery runtime: queued asyncio (default) or the "
+        "single-thread parity mode",
+    )
+    load_parser.add_argument(
+        "--seed", type=int, default=7, help="realm seed (default 7)"
+    )
+    load_parser.add_argument(
+        "--time-dilation",
+        type=float,
+        default=0.0,
+        metavar="X",
+        help="scale sampled per-hop latencies into real waits "
+        "(0 = measure pure protocol cost)",
+    )
+    load_parser.add_argument(
+        "--base-latency",
+        type=float,
+        default=0.001,
+        metavar="SECONDS",
+        help="latency model base per hop (default 0.001)",
+    )
+    load_parser.add_argument(
+        "--jitter",
+        type=float,
+        default=0.0005,
+        metavar="SECONDS",
+        help="latency model jitter per hop (default 0.0005)",
+    )
+    load_parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        metavar="B",
+        help="aio inbox drain window / cross-request batch cap (default 64)",
+    )
+    load_parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="client-side wait cap per request in aio mode (default 30)",
+    )
+    load_parser.add_argument(
+        "--usage",
+        action="store_true",
+        help="meter per-principal usage and print the reconciliation "
+        "verdict against the network counters",
+    )
+    load_parser.add_argument(
+        "--no-prefetch",
+        action="store_true",
+        help="disable cross-request signature batch prefetching",
+    )
+    load_parser.add_argument(
+        "--json", default="", help="write the load report to a file"
+    )
     args = parser.parse_args(argv)
+    if args.command == "load":
+        raise SystemExit(load(args))
     if args.command == "usage":
         raise SystemExit(usage(args))
     if args.command == "profile":

@@ -558,6 +558,61 @@ class ProxyVerifier:
             raise pending
         return previous, chain_hits, chain_misses, chain_evictions, batch
 
+    # -- cross-request batch prefetch ----------------------------------------
+
+    def collect_signature_checks(
+        self, presented: PresentedProxy
+    ) -> list:
+        """Best-effort collection of the checks :meth:`verify` will run.
+
+        Returns ``(verifier, message, signature)`` triples for the chain's
+        link signatures and (when present) the possession proof — the same
+        checks the stage 1+2 walk performs — *without* any of the walk's
+        side effects: nothing is cached here, no replay key is registered,
+        and no verdict is produced.  The async runtime's cross-request
+        prefetchers feed these triples from every queued request into one
+        :func:`repro.crypto.signature.verify_batch` call, so by the time
+        each handler runs its own :meth:`verify`, the process-wide
+        signature cache is already warm.
+
+        Collection is conservative: any resolution failure (expired link,
+        unknown grantor, unopenable sealed key) stops collection at that
+        link and returns what was gathered so far.  Correctness never
+        depends on this method — the signature cache stores positive
+        results only, and :meth:`verify` re-checks everything.
+        """
+        checks: list = []
+        previous: Optional[_PossessionMaterial] = None
+        trail: list = []
+        try:
+            for index, cert in enumerate(presented.certificates):
+                identity_verifier = self._resolve_link(index, cert, trail)
+                if isinstance(identity_verifier, SchnorrVerifier):
+                    _schnorr.register_verification_key(
+                        identity_verifier.public
+                    )
+                verifier = (
+                    identity_verifier
+                    if identity_verifier is not None
+                    else self._verifier_from_material(previous)
+                )
+                checks.append((verifier, cert.body_bytes(), cert.signature))
+                previous = self._possession_material(cert, index, previous)
+            proof = presented.proof
+            if proof is not None and previous is not None:
+                checks.append(
+                    (
+                        self._verifier_from_material(previous),
+                        proof.body_bytes(),
+                        proof.signature,
+                    )
+                )
+        except ReproError:
+            # Partial collection: verify() will reach the same failure and
+            # raise the authoritative error; prefetch just stops early.
+            pass
+        return checks
+
     # -- the main entry point ------------------------------------------------
 
     def verify(

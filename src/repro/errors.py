@@ -180,6 +180,29 @@ class ResponseDroppedError(MessageDroppedError):
     """
 
 
+class RequestTimeoutError(NetworkError):
+    """The caller gave up waiting for a reply (async runtime only).
+
+    Like :class:`ResponseDroppedError`, this is raised client-side with
+    the server's fate unknown: the handler may still run (or may already
+    have run) after the caller stopped waiting, so side effects must be
+    presumed committed.  A verbatim resend of the same request (same
+    ``_rid``) is answered from the service's response cache rather than
+    re-executed — the accept-once contract of §4 survives timeouts.
+    """
+
+
+class NetworkClosedError(NetworkError):
+    """The async runtime is shutting down and refused (or abandoned) a send.
+
+    Raised for requests submitted after shutdown began and for requests
+    still in transit (dilated-latency sleeps) when the runtime stopped.
+    Requests already admitted to an inbox are delivered before workers
+    exit, so this error never hides a committed server-side effect the
+    caller was told about.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Resilience layer
 # ---------------------------------------------------------------------------

@@ -7,11 +7,15 @@ from repro.net.message import (
     is_error,
     raise_if_error,
 )
+from repro.net.aio import AioNetwork, AioStats, drive
 from repro.net.metrics import MetricsSnapshot, NetworkMetrics
 from repro.net.network import LatencyModel, Network
 
 __all__ = [
     "Network",
+    "AioNetwork",
+    "AioStats",
+    "drive",
     "LatencyModel",
     "Message",
     "encode_error",

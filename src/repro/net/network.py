@@ -1,14 +1,20 @@
 """The simulated network.
 
-A synchronous, deterministic message-passing fabric:
+A deterministic message-passing fabric with two delivery modes:
 
 * **Endpoints** register under their principal id and expose a single
   ``handle(message) -> payload`` callable (see
   :class:`~repro.services.base.Service`).
-* **Delivery** is synchronous request/response — adequate for the paper's
-  protocols, all of which are RPC-shaped — and advances the injected
-  simulated clock by a sampled latency per hop, so protocol latency is a
-  measured consequence of message count.
+* **Delivery** is request/response RPC — the shape of every protocol in
+  the paper.  This class delivers synchronously on the caller's thread
+  (the seeded, fully deterministic mode every parity harness runs on);
+  :class:`~repro.net.aio.AioNetwork` subclasses it to deliver through
+  per-endpoint asyncio inbox queues so many client threads can have
+  requests in flight at once (see ``docs/scaling.md``).  Each hop
+  advances the injected simulated clock by a sampled latency, so
+  protocol latency is a measured consequence of message count; under a
+  wall clock, ``time_dilation`` optionally converts those sampled
+  latencies into real sleeps for load experiments.
 * **Taps** observe every message (the eavesdropper attacker of §3.1 is a
   tap), seeing exactly the bytes a wire would carry.
 * **Fault injection** can drop messages by destination (blackholes —
@@ -27,6 +33,7 @@ All randomness (latency jitter, drops) comes from the injected
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
@@ -68,10 +75,18 @@ class Network:
         latency: Optional[LatencyModel] = None,
         rng: Optional[Rng] = None,
         telemetry: Optional[Telemetry] = None,
+        time_dilation: float = 0.0,
     ) -> None:
+        """``time_dilation`` scales sampled per-hop latencies into *real*
+        sleeps when the network runs on a wall clock (it is ignored under a
+        :class:`~repro.clock.SimulatedClock`, whose time is logical).  The
+        default of ``0.0`` keeps seeded runs byte-identical; load
+        experiments set it to make latency hiding measurable — see
+        ``docs/scaling.md``."""
         self.clock = clock
         self.latency = latency or LatencyModel()
         self.rng = rng or DEFAULT_RNG
+        self.time_dilation = float(time_dilation)
         self.metrics = NetworkMetrics()
         self.telemetry = telemetry if telemetry is not None else NO_TELEMETRY
         self._endpoints: Dict[PrincipalId, Handler] = {}
@@ -160,6 +175,11 @@ class Network:
     def _advance(self) -> None:
         if isinstance(self.clock, SimulatedClock):
             self.clock.advance(self.latency.sample(self.rng))
+        elif self.time_dilation > 0.0:
+            # Wall-clock mode: the hop's sampled latency becomes a real
+            # sleep, serialized on the caller's thread.  The async runtime
+            # overrides this to await transit instead of blocking.
+            time.sleep(self.latency.sample(self.rng) * self.time_dilation)
 
     def _observe(self, message: Message) -> int:
         """Meter one wire message; returns its wire size."""

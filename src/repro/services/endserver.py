@@ -156,6 +156,18 @@ class EndServer(Service):
         """Expose an application operation."""
         self._operations[name] = handler
 
+    def signature_prefetcher(self):
+        """Cross-request batch prefetcher for the async runtime.
+
+        Install with ``aio_network.set_prefetcher(server.endpoint,
+        server.signature_prefetcher())``: queued proxy presentations are
+        signature-checked in one batch to warm the verification cache
+        before the handlers run.  See :mod:`repro.services.prefetch`.
+        """
+        from repro.services.prefetch import proxy_request_prefetcher
+
+        return proxy_request_prefetcher(self.acceptor.verifier)
+
     # ------------------------------------------------------------------
     # Session establishment
     # ------------------------------------------------------------------

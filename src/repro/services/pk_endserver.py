@@ -207,6 +207,34 @@ class PkEndServer(Service):
     def register_operation(self, name: str, handler: Callable) -> None:
         self._operations[name] = handler
 
+    def signature_prefetcher(self):
+        """Cross-request batch prefetcher for the async runtime.
+
+        Collects, per queued request, the proxy chain's signature checks
+        *and* the signed envelope's identity check, and verifies them in
+        one batch to warm the signature cache — see
+        :mod:`repro.services.prefetch`.  Never authoritative: the handler
+        re-verifies (and registers replay keys) itself.
+        """
+        from repro.services.prefetch import proxy_request_prefetcher
+
+        def envelope_checks(payload: dict) -> list:
+            wire = payload.get("envelope")
+            if not isinstance(wire, dict):
+                return []
+            envelope = SignedEnvelope.from_wire(wire)
+            return [
+                (
+                    self.directory.verifier_for(envelope.claimant),
+                    envelope.body_bytes(),
+                    envelope.signature,
+                )
+            ]
+
+        return proxy_request_prefetcher(
+            self.verifier, extra_checks=envelope_checks
+        )
+
     # ------------------------------------------------------------------
 
     def _authenticate_envelope(

@@ -22,6 +22,7 @@ from repro.crypto.rng import Rng
 from repro.encoding.identifiers import PrincipalId
 from repro.kerberos.client import KerberosClient
 from repro.kerberos.kdc import KeyDistributionCenter
+from repro.net.aio import AioNetwork
 from repro.net.network import LatencyModel, Network
 from repro.obs.telemetry import NO_TELEMETRY, Telemetry
 from repro.resil.channel import ResilientChannel
@@ -84,6 +85,10 @@ class Realm:
         telemetry: Optional[Telemetry] = None,
         verify_cache=None,
         resilience=None,
+        runtime: str = "sync",
+        time_dilation: float = 0.0,
+        max_batch: int = 64,
+        request_timeout: Optional[float] = None,
     ) -> None:
         """Build a realm; pass a shared ``network``/``clock`` to co-locate
         several realms on one fabric (see :func:`federation`).  An optional
@@ -102,7 +107,19 @@ class Realm:
         — RPCs retry with backoff behind circuit breakers, servers dedupe
         resends, end servers mark grants degraded while their authority is
         unreachable, and :meth:`kdc_replica` /
-        :meth:`authorization_replica` register failover replicas."""
+        :meth:`authorization_replica` register failover replicas.
+
+        ``runtime`` selects the delivery mode when the realm builds its
+        own network: ``"sync"`` (the seeded deterministic default) or
+        ``"aio"`` for the queue-based asyncio runtime
+        (:class:`~repro.net.aio.AioNetwork` — wrap client work in
+        ``async with realm.network.serve()`` or
+        :func:`repro.net.aio.drive`).  Both modes fork the same ``b"net"``
+        rng, so a single-driver aio realm reproduces the sync realm's
+        draws exactly — the parity contract of ``docs/scaling.md``.
+        ``time_dilation``, ``max_batch``, and ``request_timeout`` pass
+        through to the network (dilation also applies to the sync mode
+        under a wall clock)."""
         self.rng = Rng(seed=seed)
         self.verify_cache = verify_cache
         if clock is not None:
@@ -118,12 +135,28 @@ class Realm:
             )
         else:
             self.telemetry = telemetry if telemetry is not None else NO_TELEMETRY
-            self.network = Network(
-                self.clock,
-                latency=latency,
-                rng=self.rng.fork(b"net"),
-                telemetry=self.telemetry,
-            )
+            if runtime == "aio":
+                self.network = AioNetwork(
+                    self.clock,
+                    latency=latency,
+                    rng=self.rng.fork(b"net"),
+                    telemetry=self.telemetry,
+                    time_dilation=time_dilation,
+                    max_batch=max_batch,
+                    request_timeout=request_timeout,
+                )
+            elif runtime == "sync":
+                self.network = Network(
+                    self.clock,
+                    latency=latency,
+                    rng=self.rng.fork(b"net"),
+                    telemetry=self.telemetry,
+                    time_dilation=time_dilation,
+                )
+            else:
+                raise ValueError(
+                    f"runtime must be 'sync' or 'aio', not {runtime!r}"
+                )
         if self.telemetry:
             self.telemetry.bind_clock(self.clock)
         self.realm = realm

@@ -1,0 +1,907 @@
+"""Concurrent load generation against a realm.
+
+This is the measurement half of the async runtime
+(:class:`~repro.net.aio.AioNetwork`): build a realm, populate it with
+*N* principals, then drive every principal's request stream concurrently
+and report throughput plus latency percentiles.  It exists to answer the
+question the paper's protocols were designed around but the single-thread
+reproduction could never ask — what do cascaded authorization and
+accounting cost under tens of thousands of in-flight principals?
+
+The CLI lives at ``python -m repro load`` (see ``docs/scaling.md``):
+
+    python -m repro load pk-verify --principals 1000 --concurrency 64
+    python -m repro load echo --principals 10000 --ops 3 --mode aio
+    python -m repro load fig5 --principals 200 --usage
+
+Design points:
+
+* **Scenarios** adapt the figure workloads to many principals: every
+  principal gets its *own* credentials, clients, and (for fig5) its own
+  accounts, so concurrent ops never share client-side mutable state —
+  thread safety by partitioning, the same property real deployments get
+  from separate user agents.
+* **Setup is sequential and undilated**: principals are provisioned
+  inline before the clock starts, so reported numbers measure the
+  request path, not Kerberos bootstrapping.
+* **Measurement uses the existing machinery**: per-op latencies stream
+  into an :class:`~repro.obs.usage.QuantileDigest` (the same log-bucket
+  digest the usage meter reports percentiles from), wire totals come
+  from ``network.metrics``, optional ``--usage`` metering reconciles the
+  :class:`~repro.obs.usage.UsageMeter` against those counters exactly as
+  ``python -m repro usage`` does, and every scenario ends with an
+  invariant check (audit-record counts; for fig5, ledger conservation
+  across both banks) printed as a greppable ``conservation:`` line.
+* **Fairness**: sync and aio modes run the same scenario, the same
+  per-principal op streams, and the same latency model; the aio mode's
+  advantage must come from overlapping waits and cross-request batch
+  prefetching, not from doing less work.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.acl import AclEntry, SinglePrincipal
+from repro.clock import SystemClock
+from repro.core.restrictions import (
+    Authorized,
+    AuthorizedEntry,
+    Grantee,
+    IssuedFor,
+)
+from repro.crypto.rng import Rng
+from repro.encoding.identifiers import PrincipalId
+from repro.errors import ReproError
+from repro.kerberos.proxy_support import endorse, grant_via_credentials
+from repro.ledger.fuzz import non_settlement_totals
+from repro.net.aio import AioNetwork
+from repro.net.message import Message
+from repro.net.network import LatencyModel, Network
+from repro.net.service import Service
+from repro.obs.telemetry import Telemetry
+from repro.obs.usage import QuantileDigest
+from repro.testbed import Realm
+
+#: Documents provisioned on file-serving scenarios (mirrors the chaos
+#: workloads' five-document file server).
+_DOCS = 5
+
+
+@dataclass(frozen=True)
+class LoadConfig:
+    """One load run, fully specified (and therefore reproducible setup).
+
+    Attributes:
+        scenario: scenario name from :data:`SCENARIOS` — ``echo``,
+            ``pk-verify``, or a figure workload (``fig1``, ``fig3``,
+            ``fig4``, ``fig5``).
+        principals: how many independent principals to provision; each
+            runs its own request stream with its own credentials.
+        ops: requests per principal (the run ends when every stream is
+            exhausted, or at ``duration`` if that comes first).
+        duration: optional wall-clock cap in seconds; ``0`` means run
+            until the op streams are exhausted.
+        concurrency: client-side parallelism — the number of requests
+            that may be blocked on the network at once (thread-pool
+            width in aio mode; sync mode is always 1).
+        mode: ``"aio"`` (queued asyncio delivery) or ``"sync"`` (the
+            seeded single-thread parity mode).
+        seed: realm seed; setup (keys, grants, accounts) is a
+            deterministic function of it.
+        time_dilation: scale sampled per-hop latencies into real waits
+            (applied only after setup); ``0`` measures pure protocol
+            cost, ``1.0`` measures latency hiding under the model's
+            simulated wire.
+        base_latency / jitter: the per-hop latency model.
+        max_batch: aio inbox drain window (cross-request batch size cap).
+        request_timeout: client-side wait cap per request in aio mode.
+        meter_usage: attach a usage-metering telemetry and report its
+            reconciliation against the network counters.
+        prefetch: install the servers' cross-request signature
+            prefetchers (aio mode only).
+    """
+
+    scenario: str = "echo"
+    principals: int = 100
+    ops: int = 3
+    duration: float = 0.0
+    concurrency: int = 64
+    mode: str = "aio"
+    seed: int = 7
+    time_dilation: float = 0.0
+    base_latency: float = 0.001
+    jitter: float = 0.0005
+    max_batch: int = 64
+    request_timeout: Optional[float] = 30.0
+    meter_usage: bool = False
+    prefetch: bool = True
+
+
+@dataclass
+class LoadReport:
+    """What one load run measured, renderable for humans and CI greps."""
+
+    scenario: str
+    mode: str
+    principals: int
+    concurrency: int
+    wall_seconds: float
+    ops_ok: int
+    ops_failed: int
+    percentiles_ms: Dict[str, float]
+    peak_in_flight: int
+    messages: int
+    bytes: int
+    problems: List[str] = field(default_factory=list)
+    #: Runtime counters (aio mode): batches, prefetched checks, ...
+    runtime: Dict[str, int] = field(default_factory=dict)
+    #: ``metered m/b vs net m/b -> ok|MISMATCH`` when usage metering ran.
+    reconciliation: Optional[str] = None
+    #: Scenario extras (e.g. fig5 balance totals).
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per wall-clock second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.ops_ok / self.wall_seconds
+
+    def to_json(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "mode": self.mode,
+            "principals": self.principals,
+            "concurrency": self.concurrency,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "ops_ok": self.ops_ok,
+            "ops_failed": self.ops_failed,
+            "throughput_ops_per_s": round(self.throughput, 3),
+            "percentiles_ms": {
+                k: round(v, 3) for k, v in self.percentiles_ms.items()
+            },
+            "peak_in_flight": self.peak_in_flight,
+            "messages": self.messages,
+            "bytes": self.bytes,
+            "runtime": dict(self.runtime),
+            "problems": list(self.problems),
+            "reconciliation": self.reconciliation,
+            "extras": {k: v for k, v in self.extras.items()},
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"load: {self.scenario} mode={self.mode} "
+            f"principals={self.principals} concurrency={self.concurrency}",
+            f"  throughput ......... {self.throughput:,.1f} ops/s "
+            f"({self.ops_ok} ops in {self.wall_seconds:.3f}s, "
+            f"{self.ops_failed} failed)",
+            f"  latency ............ "
+            + "  ".join(
+                f"{name} {value:.2f}ms"
+                for name, value in self.percentiles_ms.items()
+            ),
+            f"  in flight .......... peak {self.peak_in_flight} principals",
+            f"  wire ............... {self.messages} messages, "
+            f"{self.bytes} bytes",
+        ]
+        if self.runtime:
+            parts = ", ".join(
+                f"{k}={v}" for k, v in sorted(self.runtime.items())
+            )
+            lines.append(f"  aio runtime ........ {parts}")
+        for key, value in self.extras.items():
+            lines.append(f"  {key} ".ljust(21, ".") + f" {value}")
+        if self.reconciliation is not None:
+            lines.append(f"reconciliation: {self.reconciliation}")
+        if self.problems:
+            lines.append("conservation: VIOLATED")
+            lines.extend(f"  problem: {p}" for p in self.problems)
+        else:
+            lines.append("conservation: ok")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Scenarios
+# ---------------------------------------------------------------------------
+
+
+class LoadScenario:
+    """One way to exercise a realm under load.
+
+    Hooks, all run with the network in inline (undilated, unqueued)
+    delivery except :meth:`op`:
+
+    * :meth:`setup` builds shared servers and returns the state dict.
+    * :meth:`principal` provisions principal ``i`` (credentials, grants,
+      accounts) and returns its private per-principal state.
+    * :meth:`op` runs one request for principal ``i``; it must touch only
+      that principal's state (plus thread-safe server handles), because
+      in aio mode it runs on a client pool thread.
+    * :meth:`check` returns invariant violations after the run ([] = ok).
+    * :meth:`prefetchers` names (endpoint, prefetcher) pairs to install
+      on the aio network for cross-request signature batching.
+    """
+
+    name = "?"
+
+    def setup(self, realm: Realm, config: LoadConfig) -> dict:
+        raise NotImplementedError
+
+    def principal(
+        self, realm: Realm, config: LoadConfig, state: dict, i: int
+    ) -> object:
+        raise NotImplementedError
+
+    def op(
+        self,
+        realm: Realm,
+        config: LoadConfig,
+        state: dict,
+        pstate,
+        i: int,
+        k: int,
+    ) -> None:
+        raise NotImplementedError
+
+    def check(
+        self, realm: Realm, config: LoadConfig, state: dict, ops_ok: int
+    ) -> List[str]:
+        return []
+
+    def prefetchers(self, state: dict) -> List[Tuple[PrincipalId, Callable]]:
+        return []
+
+    def extras(self, realm: Realm, state: dict) -> Dict[str, object]:
+        return {}
+
+
+class _EchoService(Service):
+    """Minimal request/response endpoint for substrate-only load."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.handled = 0
+
+    def op_echo(self, message: Message) -> dict:
+        self.handled += 1
+        return {"echo": message.payload.get("n")}
+
+
+class EchoScenario(LoadScenario):
+    """Substrate-only ping/pong: measures the delivery fabric itself.
+
+    No crypto, no tickets — the cheapest possible op, so this is the
+    scenario that can hold 10k+ principals in flight and isolates the
+    runtime's own overhead and latency hiding.
+    """
+
+    name = "echo"
+
+    def setup(self, realm: Realm, config: LoadConfig) -> dict:
+        echo = _EchoService(
+            realm.principal("echo"), realm.network, realm.clock
+        )
+        return {"echo": echo}
+
+    def principal(self, realm, config, state, i):
+        return realm.principal(f"p{i}")
+
+    def op(self, realm, config, state, pstate, i, k):
+        reply = realm.network.send(
+            pstate, state["echo"].principal, "echo", {"n": k}
+        )
+        if reply.get("echo") != k:
+            raise ReproError(f"echo mismatch for principal {i} op {k}")
+
+    def check(self, realm, config, state, ops_ok):
+        handled = state["echo"].handled
+        if handled < ops_ok:
+            return [f"echo server handled {handled} < {ops_ok} completed ops"]
+        return []
+
+
+class PkVerifyScenario(LoadScenario):
+    """Public-key proxy verification under load (Fig. 6 shape, §6.1).
+
+    Every principal holds a signed restricted proxy from one grantor and
+    presents it with a fresh signed envelope and possession proof per
+    request — three Schnorr verifications per op, the stage the async
+    runtime's cross-request batch prefetcher collapses across queued
+    requests.  Uses the small test group so the bottleneck stays the
+    protocol, not 2048-bit modexp on CI runners.
+    """
+
+    name = "pk-verify"
+
+    def setup(self, realm: Realm, config: LoadConfig) -> dict:
+        from repro.crypto.dh import TEST_GROUP
+        from repro.services.pk_endserver import (
+            PkClient,
+            PkEndServer,
+            PublicKeyDirectory,
+        )
+
+        rng = realm.rng.fork(b"pk-load")
+        directory = PublicKeyDirectory()
+        server = PkEndServer(
+            realm.principal("pk-gate"),
+            realm.network,
+            realm.clock,
+            directory,
+            group=TEST_GROUP,
+            rng=rng,
+            telemetry=realm.telemetry,
+        )
+        server.register_operation(
+            "read", lambda rights, claimant, args, amounts: {"data": b"ok"}
+        )
+        grantor = PkClient(
+            realm.principal("grantor"),
+            realm.network,
+            realm.clock,
+            directory,
+            group=TEST_GROUP,
+            rng=rng,
+        )
+        server.acl.add(AclEntry(subject=SinglePrincipal(grantor.principal)))
+        return {
+            "server": server,
+            "grantor": grantor,
+            "directory": directory,
+            "rng": rng,
+            "group": TEST_GROUP,
+        }
+
+    def principal(self, realm, config, state, i):
+        from repro.core.proxy import grant_public
+        from repro.services.pk_endserver import PkClient
+
+        client = PkClient(
+            realm.principal(f"p{i}"),
+            realm.network,
+            realm.clock,
+            state["directory"],
+            group=state["group"],
+            rng=state["rng"],
+        )
+        grantor = state["grantor"]
+        now = realm.clock.now()
+        proxy = grant_public(
+            grantor.principal,
+            grantor.signer,
+            (
+                Authorized(entries=(AuthorizedEntry("doc", ("read",)),)),
+                IssuedFor(servers=(state["server"].principal,)),
+            ),
+            now,
+            now + 86_400.0,
+            state["rng"],
+            group=state["group"],
+        )
+        return (client, proxy)
+
+    def op(self, realm, config, state, pstate, i, k):
+        client, proxy = pstate
+        reply = client.request(
+            state["server"].principal,
+            "read",
+            target="doc",
+            args={"path": "doc"},
+            proxy=proxy,
+            anonymous=False,
+        )
+        if reply.get("data") != b"ok":
+            raise ReproError(f"pk read failed for principal {i} op {k}")
+
+    def check(self, realm, config, state, ops_ok):
+        audited = len(state["server"].audit.all())
+        if audited < ops_ok:
+            return [f"audit recorded {audited} < {ops_ok} completed ops"]
+        return []
+
+    def prefetchers(self, state):
+        server = state["server"]
+        return [(server.principal, server.signature_prefetcher())]
+
+
+class _FileScenario(LoadScenario):
+    """Shared scaffolding for the Kerberos file-server figures."""
+
+    def _file_server(self, realm: Realm):
+        fs = realm.file_server("files")
+        for k in range(_DOCS):
+            fs.put(f"doc{k}.txt", b"contents of doc %d" % k)
+        return fs
+
+    def _check_audit(self, fs, ops_ok: int) -> List[str]:
+        audited = len(fs.audit.all())
+        if audited < ops_ok:
+            return [f"audit recorded {audited} < {ops_ok} completed ops"]
+        return []
+
+    def prefetchers(self, state):
+        fs = state["fs"]
+        return [(fs.endpoint, fs.signature_prefetcher())]
+
+
+class Fig1Scenario(_FileScenario):
+    """Bearer capabilities at scale (Fig. 1, §2).
+
+    One owner grants every principal its own restricted capability;
+    principals present them anonymously.  Measures offline verification
+    plus accept-once bookkeeping under concurrency.
+    """
+
+    name = "fig1"
+
+    def setup(self, realm: Realm, config: LoadConfig) -> dict:
+        alice = realm.user("alice")
+        fs = self._file_server(realm)
+        fs.grant_owner(alice.principal)
+        return {"alice": alice, "fs": fs}
+
+    def principal(self, realm, config, state, i):
+        alice, fs = state["alice"], state["fs"]
+        user = realm.user(f"p{i}")
+        capability = grant_via_credentials(
+            alice.kerberos.get_ticket(fs.principal),
+            (
+                Authorized(
+                    entries=tuple(
+                        AuthorizedEntry(f"doc{k}.txt", ("read",))
+                        for k in range(_DOCS)
+                    )
+                ),
+            ),
+            realm.clock.now(),
+            rng=alice.kerberos.rng,
+        )
+        return (user.client_for(fs.principal), capability)
+
+    def op(self, realm, config, state, pstate, i, k):
+        client, capability = pstate
+        reply = client.request(
+            "read",
+            f"doc{k % _DOCS}.txt",
+            proxy=capability,
+            anonymous=True,
+        )
+        if "data" not in reply:
+            raise ReproError(f"fig1 read failed for principal {i} op {k}")
+
+    def check(self, realm, config, state, ops_ok):
+        return self._check_audit(state["fs"], ops_ok)
+
+
+class Fig3Scenario(_FileScenario):
+    """Authorization-server grants at scale (Fig. 3, §3.2).
+
+    Every principal asks the authorization server for a fresh grant and
+    presents it — two RPCs per op, with the authorization server itself
+    a contended shared service.
+    """
+
+    name = "fig3"
+
+    def setup(self, realm: Realm, config: LoadConfig) -> dict:
+        fs = self._file_server(realm)
+        authz = realm.authorization_server("authz")
+        fs.acl.add(AclEntry(subject=SinglePrincipal(authz.principal)))
+        return {"fs": fs, "authz": authz}
+
+    def principal(self, realm, config, state, i):
+        fs, authz = state["fs"], state["authz"]
+        user = realm.user(f"p{i}")
+        authz.database_for(fs.principal).add(
+            AclEntry(
+                subject=SinglePrincipal(user.principal),
+                operations=("read",),
+            )
+        )
+        azc = user.authorization_client(authz.principal)
+        client = user.client_for(fs.principal)
+        azc.service.establish_session()
+        client.establish_session()
+        return (azc, client)
+
+    def op(self, realm, config, state, pstate, i, k):
+        azc, client = pstate
+        proxy = azc.authorize(state["fs"].principal, ("read",))
+        reply = client.request("read", f"doc{k % _DOCS}.txt", proxy=proxy)
+        if "data" not in reply:
+            raise ReproError(f"fig3 read failed for principal {i} op {k}")
+
+    def check(self, realm, config, state, ops_ok):
+        return self._check_audit(state["fs"], ops_ok)
+
+
+class Fig4Scenario(_FileScenario):
+    """Delegate cascades at scale (Fig. 4, §3.4).
+
+    Each principal is the tail of its own two-link cascade (owner →
+    intermediary_i → principal_i) and presents the full chain per
+    request — the verification-heaviest Kerberos scenario.
+    """
+
+    name = "fig4"
+
+    def setup(self, realm: Realm, config: LoadConfig) -> dict:
+        alice = realm.user("alice")
+        fs = self._file_server(realm)
+        fs.grant_owner(alice.principal)
+        return {"alice": alice, "fs": fs}
+
+    def principal(self, realm, config, state, i):
+        alice, fs = state["alice"], state["fs"]
+        carol = realm.user(f"carol{i}")
+        dave = realm.user(f"dave{i}")
+        now = realm.clock.now()
+        to_carol = grant_via_credentials(
+            alice.kerberos.get_ticket(fs.principal),
+            (Grantee(principals=(carol.principal,)),),
+            now,
+            rng=alice.kerberos.rng,
+        )
+        chain = endorse(
+            to_carol,
+            carol.kerberos.get_ticket(fs.principal),
+            dave.principal,
+            (),
+            now,
+            now + 86_400.0,
+            rng=carol.kerberos.rng,
+        )
+        client = dave.client_for(fs.principal)
+        client.establish_session()
+        return (client, chain)
+
+    def op(self, realm, config, state, pstate, i, k):
+        client, chain = pstate
+        reply = client.request("read", f"doc{k % _DOCS}.txt", proxy=chain)
+        if "data" not in reply:
+            raise ReproError(f"fig4 read failed for principal {i} op {k}")
+
+    def check(self, realm, config, state, ops_ok):
+        return self._check_audit(state["fs"], ops_ok)
+
+
+class Fig5Scenario(LoadScenario):
+    """Cross-bank check clearing at scale (Fig. 5, §4).
+
+    Every principal holds a funded account at bank A and an empty account
+    at bank B, and each op writes a check on A and deposits it at B — the
+    inter-bank E2 hop rides the same fabric as a nested send.  The
+    post-run check is global: per-currency conservation over both banks'
+    non-settlement accounts plus both ledgers' audit parity.
+    """
+
+    name = "fig5"
+
+    #: Funds minted into each principal's payor account.
+    INITIAL = 10_000
+
+    def setup(self, realm: Realm, config: LoadConfig) -> dict:
+        bank_a = realm.accounting_server("bank-a")
+        bank_b = realm.accounting_server("bank-b")
+        return {"bank_a": bank_a, "bank_b": bank_b}
+
+    def principal(self, realm, config, state, i):
+        bank_a, bank_b = state["bank_a"], state["bank_b"]
+        user = realm.user(f"p{i}")
+        bank_a.create_account(
+            f"payor-{i}", user.principal, {"dollars": self.INITIAL}
+        )
+        bank_b.create_account(f"payee-{i}", user.principal)
+        payor_client = user.accounting_client(bank_a.principal)
+        payee_client = user.accounting_client(bank_b.principal)
+        # Sessions are part of provisioning, not of the measured op.
+        payor_client.service.establish_session()
+        payee_client.service.establish_session()
+        return (user, payor_client, payee_client, i)
+
+    def op(self, realm, config, state, pstate, i, k):
+        user, payor_client, payee_client, idx = pstate
+        amount = 1 + (k % 7)
+        check = payor_client.write_check(
+            f"payor-{idx}", user.principal, "dollars", amount
+        )
+        result = payee_client.deposit_check(check, f"payee-{idx}")
+        if int(result["paid"]) != amount:
+            raise ReproError(
+                f"fig5 deposit paid {result['paid']} != {amount}"
+            )
+
+    def check(self, realm, config, state, ops_ok):
+        banks = [state["bank_a"], state["bank_b"]]
+        problems: List[str] = []
+        provisioned = sum(
+            1
+            for name in state["bank_a"].accounts
+            if name.startswith("payor-")
+        )
+        expected = {"dollars": provisioned * self.INITIAL}
+        totals = non_settlement_totals(banks)
+        if totals != expected:
+            problems.append(
+                f"conservation broken: non-settlement totals {totals} "
+                f"!= minted {expected}"
+            )
+        for bank in banks:
+            for problem in bank.ledger.audit_discrepancies():
+                problems.append(f"{bank.principal.name} audit: {problem}")
+        return problems
+
+    def prefetchers(self, state):
+        out = []
+        for bank in (state["bank_a"], state["bank_b"]):
+            out.append((bank.endpoint, bank.signature_prefetcher()))
+        return out
+
+    def extras(self, realm, state):
+        totals = non_settlement_totals([state["bank_a"], state["bank_b"]])
+        return {"balances": totals}
+
+
+SCENARIOS: Dict[str, type] = {
+    EchoScenario.name: EchoScenario,
+    PkVerifyScenario.name: PkVerifyScenario,
+    Fig1Scenario.name: Fig1Scenario,
+    Fig3Scenario.name: Fig3Scenario,
+    Fig4Scenario.name: Fig4Scenario,
+    Fig5Scenario.name: Fig5Scenario,
+}
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+
+class _Meter:
+    """Thread-safe op accounting shared by every principal stream."""
+
+    def __init__(self) -> None:
+        self.digest = QuantileDigest()
+        self.ops_ok = 0
+        self.ops_failed = 0
+        self.in_flight = 0
+        self.peak_in_flight = 0
+        self._lock = threading.Lock()
+
+    def enter(self) -> None:
+        with self._lock:
+            self.in_flight += 1
+            if self.in_flight > self.peak_in_flight:
+                self.peak_in_flight = self.in_flight
+
+    def exit(self) -> None:
+        with self._lock:
+            self.in_flight -= 1
+
+    def observe(self, seconds: float, ok: bool) -> None:
+        with self._lock:
+            self.digest.observe(max(seconds, 1e-9))
+            if ok:
+                self.ops_ok += 1
+            else:
+                self.ops_failed += 1
+
+
+def _build_realm(config: LoadConfig) -> Realm:
+    telemetry = None
+    if config.meter_usage:
+        telemetry = Telemetry(meter_usage=True)
+    seed = b"load-%d" % config.seed
+    common = dict(
+        seed=seed,
+        real_time=True,
+        latency=LatencyModel(
+            base=config.base_latency, jitter=config.jitter
+        ),
+        telemetry=telemetry,
+    )
+    if config.mode == "aio":
+        return Realm(
+            runtime="aio",
+            max_batch=config.max_batch,
+            request_timeout=config.request_timeout,
+            **common,
+        )
+    if config.mode == "sync":
+        return Realm(runtime="sync", **common)
+    raise ValueError(f"mode must be 'aio' or 'sync', not {config.mode!r}")
+
+
+def _run_one(
+    scenario: LoadScenario,
+    realm: Realm,
+    config: LoadConfig,
+    state: dict,
+    meter: _Meter,
+    pstate,
+    i: int,
+    k: int,
+) -> None:
+    start = time.perf_counter()
+    try:
+        scenario.op(realm, config, state, pstate, i, k)
+    except ReproError:
+        meter.observe(time.perf_counter() - start, ok=False)
+    else:
+        meter.observe(time.perf_counter() - start, ok=True)
+
+
+def _drive_sync(
+    scenario: LoadScenario,
+    realm: Realm,
+    config: LoadConfig,
+    state: dict,
+    pstates: list,
+    meter: _Meter,
+    deadline: Optional[float],
+) -> None:
+    meter.enter()
+    try:
+        for k in range(config.ops):
+            for i, pstate in enumerate(pstates):
+                if deadline is not None and time.perf_counter() > deadline:
+                    return
+                _run_one(scenario, realm, config, state, meter, pstate, i, k)
+    finally:
+        meter.exit()
+
+
+async def _drive_aio(
+    scenario: LoadScenario,
+    realm: Realm,
+    config: LoadConfig,
+    state: dict,
+    pstates: list,
+    meter: _Meter,
+    deadline: Optional[float],
+) -> None:
+    network = realm.network
+    assert isinstance(network, AioNetwork)
+    loop = asyncio.get_running_loop()
+    pool = ThreadPoolExecutor(
+        max_workers=max(1, config.concurrency),
+        thread_name_prefix="load-client",
+    )
+
+    async def principal_stream(i: int, pstate) -> None:
+        meter.enter()
+        try:
+            for k in range(config.ops):
+                if deadline is not None and time.perf_counter() > deadline:
+                    return
+                await loop.run_in_executor(
+                    pool,
+                    _run_one,
+                    scenario,
+                    realm,
+                    config,
+                    state,
+                    meter,
+                    pstate,
+                    i,
+                    k,
+                )
+        finally:
+            meter.exit()
+
+    try:
+        async with network.serve():
+            for endpoint, prefetcher in (
+                scenario.prefetchers(state) if config.prefetch else []
+            ):
+                network.set_prefetcher(endpoint, prefetcher)
+            await asyncio.gather(
+                *(
+                    principal_stream(i, pstate)
+                    for i, pstate in enumerate(pstates)
+                )
+            )
+    finally:
+        pool.shutdown(wait=True)
+
+
+def run_load(config: LoadConfig) -> LoadReport:
+    """Provision, drive, and measure one load run.
+
+    Returns the :class:`LoadReport`; ``report.problems`` is non-empty when
+    a post-run invariant (audit counts, fig5 conservation) failed.
+    """
+    if config.scenario not in SCENARIOS:
+        raise ValueError(
+            f"unknown scenario {config.scenario!r}; "
+            f"choose from {sorted(SCENARIOS)}"
+        )
+    if config.principals < 1:
+        raise ValueError("need at least one principal")
+    scenario = SCENARIOS[config.scenario]()
+    realm = _build_realm(config)
+
+    # Sequential, undilated provisioning: the run measures the request
+    # path, not setup.
+    state = scenario.setup(realm, config)
+    pstates = [
+        scenario.principal(realm, config, state, i)
+        for i in range(config.principals)
+    ]
+    setup_messages = realm.network.metrics.messages
+    setup_bytes = realm.network.metrics.bytes
+    realm.network.time_dilation = config.time_dilation
+
+    meter = _Meter()
+    start = time.perf_counter()
+    deadline = start + config.duration if config.duration > 0 else None
+    if config.mode == "aio":
+        asyncio.run(
+            _drive_aio(
+                scenario, realm, config, state, pstates, meter, deadline
+            )
+        )
+    else:
+        _drive_sync(
+            scenario, realm, config, state, pstates, meter, deadline
+        )
+    wall = time.perf_counter() - start
+    realm.network.time_dilation = 0.0
+
+    percentiles = {
+        "p50": meter.digest.quantile(0.50) * 1000.0,
+        "p95": meter.digest.quantile(0.95) * 1000.0,
+        "p99": meter.digest.quantile(0.99) * 1000.0,
+    }
+    runtime: Dict[str, int] = {}
+    network = realm.network
+    if isinstance(network, AioNetwork):
+        stats = network.stats
+        runtime = {
+            "queued": stats.queued,
+            "batches": stats.batches,
+            "batched_messages": stats.batched_messages,
+            "max_queue_depth": stats.max_queue_depth,
+            "prefetched_checks": stats.prefetched_checks,
+            "timeouts": stats.timeouts,
+        }
+    report = LoadReport(
+        scenario=config.scenario,
+        mode=config.mode,
+        principals=config.principals,
+        concurrency=config.concurrency if config.mode == "aio" else 1,
+        wall_seconds=wall,
+        ops_ok=meter.ops_ok,
+        ops_failed=meter.ops_failed,
+        percentiles_ms=percentiles,
+        peak_in_flight=meter.peak_in_flight,
+        messages=network.metrics.messages - setup_messages,
+        bytes=network.metrics.bytes - setup_bytes,
+        runtime=runtime,
+        problems=scenario.check(realm, config, state, meter.ops_ok),
+        extras=scenario.extras(realm, state),
+    )
+    usage = realm.telemetry.usage if realm.telemetry else None
+    if usage is not None:
+        net_messages = network.metrics.messages
+        net_bytes = network.metrics.bytes
+        ok = (
+            usage.total_messages() == net_messages
+            and usage.total_bytes() == net_bytes
+        )
+        report.reconciliation = (
+            f"metered {usage.total_messages()} messages / "
+            f"{usage.total_bytes()} bytes; net counters {net_messages} / "
+            f"{net_bytes} -> {'ok' if ok else 'MISMATCH'}"
+        )
+        if not ok:
+            report.problems.append("usage meter does not reconcile")
+    return report
