@@ -251,6 +251,20 @@ def chaos(args) -> int:
             )
         if outage[0] >= outage[1]:
             raise SystemExit("--outage window must have START < STOP")
+    crash_restart = None
+    if args.crash_restart:
+        server, sep, tick = args.crash_restart.rpartition(":")
+        if not sep or not server:
+            raise SystemExit(
+                "--crash-restart wants SERVER:TICK, "
+                f"got {args.crash_restart!r}"
+            )
+        try:
+            crash_restart = (server, int(tick))
+        except ValueError:
+            raise SystemExit(
+                f"--crash-restart tick must be an integer, got {tick!r}"
+            )
     spec = CampaignSpec(
         figure=args.figure,
         seed=args.seed,
@@ -260,6 +274,9 @@ def chaos(args) -> int:
         retry=not args.no_retry,
         outage=outage,
         kill_primary=args.kill_primary,
+        crash_restart=crash_restart,
+        runtime=args.runtime,
+        data_dir=args.data_dir or None,
     )
     report = run_campaign(spec)
     print(report.render())
@@ -277,6 +294,7 @@ def fuzz(args) -> int:
         episodes=args.episodes,
         banks=args.banks,
         faults=args.faults,
+        crash_restarts=args.crash_restarts,
     )
     summary = report.summary()
     print(
@@ -296,6 +314,11 @@ def fuzz(args) -> int:
         f"{report.postings_rolled_back} rolled back, "
         f"{report.postings_deduped} deduped"
     )
+    if report.crash_restarts:
+        print(
+            f"  crash-restarts: {report.crash_restarts} "
+            f"({report.wal_replayed} WAL records replayed)"
+        )
     print(f"  conservation: {summary['conservation']}")
     for violation in report.violations:
         print(f"  VIOLATION: {violation}")
@@ -651,6 +674,26 @@ def main(argv=None) -> None:
         action="store_true",
         help="stand up a KDC replica and kill the primary outright",
     )
+    chaos_parser.add_argument(
+        "--crash-restart",
+        default="",
+        metavar="SERVER:TICK",
+        help="kill SERVER before unit TICK and rebuild it from its "
+        "WAL+snapshot (e.g. files:10, bank-payor:6)",
+    )
+    chaos_parser.add_argument(
+        "--runtime",
+        choices=("sync", "aio"),
+        default="sync",
+        help="delivery runtime for both arms (default sync)",
+    )
+    chaos_parser.add_argument(
+        "--data-dir",
+        default="",
+        metavar="DIR",
+        help="keep WAL+snapshot files here instead of a temp dir "
+        "(inspectable after the run)",
+    )
     usage_parser = sub.add_parser(
         "usage",
         help="per-principal usage metering report for a figure workload",
@@ -739,6 +782,14 @@ def main(argv=None) -> None:
         "--faults",
         action="store_true",
         help="inject request/response drops under the resilience layer",
+    )
+    fuzz_parser.add_argument(
+        "--crash-restarts",
+        type=int,
+        default=0,
+        metavar="N",
+        help="kill and WAL-recover banks N times across the campaign "
+        "(evenly spaced, round-robin)",
     )
     fuzz_parser.add_argument(
         "--json", default="", help="write the campaign summary to a file"

@@ -56,6 +56,42 @@ class AuditRecord:
             text += " [degraded]"
         return text
 
+    def to_wire(self) -> dict:
+        """WAL/snapshot payload form (canonically encodable)."""
+        return {
+            "time": self.time,
+            "server": self.server.to_wire(),
+            "grantor": self.grantor.to_wire(),
+            "claimant": (
+                self.claimant.to_wire() if self.claimant is not None else None
+            ),
+            "intermediates": [p.to_wire() for p in self.intermediates],
+            "operation": self.operation,
+            "target": self.target,
+            "bearer": self.bearer,
+            "degraded": self.degraded,
+        }
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "AuditRecord":
+        return cls(
+            time=float(data["time"]),
+            server=PrincipalId.from_wire(data["server"]),
+            grantor=PrincipalId.from_wire(data["grantor"]),
+            claimant=(
+                PrincipalId.from_wire(data["claimant"])
+                if data.get("claimant") is not None
+                else None
+            ),
+            intermediates=tuple(
+                PrincipalId.from_wire(p) for p in data["intermediates"]
+            ),
+            operation=data["operation"],
+            target=data["target"],
+            bearer=bool(data["bearer"]),
+            degraded=bool(data.get("degraded", False)),
+        )
+
 
 class AuditLog:
     """Append-only audit store with simple queries."""
@@ -63,6 +99,10 @@ class AuditLog:
     def __init__(self, telemetry=None) -> None:
         self._records: List[AuditRecord] = []
         self._telemetry = telemetry
+        #: Called with each appended :class:`AuditRecord` — installed by
+        #: the durability wiring; the audit trail is evidence, and
+        #: evidence that dies with the process is no evidence at all.
+        self.sink = None
 
     def record(
         self,
@@ -84,6 +124,8 @@ class AuditLog:
             degraded=verified.degraded,
         )
         self._records.append(entry)
+        if self.sink is not None:
+            self.sink(entry)
         telemetry = self._telemetry
         if telemetry is not None and telemetry.enabled:
             telemetry.event(
@@ -108,6 +150,21 @@ class AuditLog:
                 kind="bearer" if entry.bearer else "delegate",
             )
         return entry
+
+    def restore(self, entry: AuditRecord) -> None:
+        """Re-append one record during recovery — no telemetry, no sink
+        (the durability store suppresses its own appends while replaying,
+        but recovery must also not re-count records in the metrics)."""
+        self._records.append(entry)
+
+    def capture_state(self) -> dict:
+        """Snapshot of the full trail."""
+        return {"records": [r.to_wire() for r in self._records]}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore :meth:`capture_state` output (snapshot recovery)."""
+        for data in state["records"]:
+            self._records.append(AuditRecord.from_wire(data))
 
     def all(self) -> Tuple[AuditRecord, ...]:
         return tuple(self._records)

@@ -44,6 +44,11 @@ class AcceptOnceRegistry:
         #: (expiry, kind, key) min-heap driving amortized expiration.
         self._expiry_heap: List[tuple] = []
         self._txn_stack: List[List[Tuple[str, Tuple[PrincipalId, str]]]] = []
+        #: Called with ``(kind, grantor, identifier, expires_at, used)``
+        #: once a registration commits — immediately outside a
+        #: transaction, at the outermost commit inside one, never for a
+        #: rolled-back registration.  Installed by the durability wiring.
+        self.commit_sink = None
 
     def register(
         self, grantor: PrincipalId, identifier: str, expires_at: float
@@ -62,6 +67,8 @@ class AcceptOnceRegistry:
         heapq.heappush(self._expiry_heap, (expires_at, "once", key))
         if self._txn_stack:
             self._txn_stack[-1].append(("once", key))
+        else:
+            self._emit("once", key)
         return True
 
     def register_counted(
@@ -87,11 +94,19 @@ class AcceptOnceRegistry:
             heapq.heappush(self._expiry_heap, (expires_at, "count", key))
         if self._txn_stack:
             self._txn_stack[-1].append(("count", key))
+        else:
+            self._emit("count", key)
         return True
 
     @contextmanager
     def transaction(self) -> Iterator[None]:
-        """Roll back registrations made inside the block if it raises."""
+        """Roll back registrations made inside the block if it raises.
+
+        Nested scopes compose: an inner commit merges its registrations
+        into the enclosing frame (an outer failure must still unwind
+        them); only the outermost commit makes them final and emits them
+        to the durability sink.
+        """
         added: List[Tuple[str, Tuple[PrincipalId, str]]] = []
         self._txn_stack.append(added)
         try:
@@ -109,6 +124,90 @@ class AcceptOnceRegistry:
             raise
         finally:
             self._txn_stack.pop()
+        if self._txn_stack:
+            self._txn_stack[-1].extend(added)
+        else:
+            for kind, key in added:
+                self._emit(kind, key)
+
+    def _emit(self, kind: str, key: Tuple[PrincipalId, str]) -> None:
+        """Report one *committed* registration to the durability sink."""
+        if self.commit_sink is None:
+            return
+        grantor, identifier = key
+        if kind == "once":
+            expires_at = self._seen.get(key)
+            if expires_at is None:
+                return
+            self.commit_sink(kind, grantor, identifier, expires_at, 1)
+        else:
+            entry = self._counts.get(key)
+            if entry is None:
+                return
+            used, expires_at = entry
+            self.commit_sink(kind, grantor, identifier, expires_at, used)
+
+    def restore(
+        self,
+        kind: str,
+        grantor: PrincipalId,
+        identifier: str,
+        expires_at: float,
+        used: int = 1,
+    ) -> None:
+        """Re-insert one committed registration during recovery.
+
+        Expired entries are skipped (the paper keeps identifiers only
+        "until the expiration time" — there is nothing left to protect).
+        Counted entries keep the highest replayed use count, so replaying
+        N commit records for the same key lands on ``used = N``'s final
+        value rather than accumulating.
+        """
+        if expires_at < self._clock.now():
+            return
+        key = (grantor, identifier)
+        if kind == "once":
+            if key not in self._seen:
+                self._seen[key] = expires_at
+                heapq.heappush(self._expiry_heap, (expires_at, "once", key))
+        else:
+            prior_used, _ = self._counts.get(key, (0, 0.0))
+            self._counts[key] = (max(prior_used, int(used)), expires_at)
+            if prior_used == 0:
+                heapq.heappush(self._expiry_heap, (expires_at, "count", key))
+
+    def capture_state(self) -> dict:
+        """Snapshot of every live registration (wire-form keys)."""
+        self._expire()
+        return {
+            "seen": [
+                [grantor.to_wire(), identifier, expires_at]
+                for (grantor, identifier), expires_at in self._seen.items()
+            ],
+            "counts": [
+                [grantor.to_wire(), identifier, used, expires_at]
+                for (grantor, identifier), (used, expires_at)
+                in self._counts.items()
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore :meth:`capture_state` output (snapshot recovery)."""
+        for grantor_wire, identifier, expires_at in state["seen"]:
+            self.restore(
+                "once",
+                PrincipalId.from_wire(grantor_wire),
+                identifier,
+                float(expires_at),
+            )
+        for grantor_wire, identifier, used, expires_at in state["counts"]:
+            self.restore(
+                "count",
+                PrincipalId.from_wire(grantor_wire),
+                identifier,
+                float(expires_at),
+                used=int(used),
+            )
 
     def _expire(self) -> None:
         now = self._clock.now()

@@ -1,0 +1,8 @@
+"""Durability: WAL-backed state that survives process death.
+
+See :mod:`repro.durability.store` and ``docs/durability.md``.
+"""
+
+from repro.durability.store import DurabilityStore, RecoveryReport
+
+__all__ = ["DurabilityStore", "RecoveryReport"]

@@ -24,10 +24,14 @@ raised, so one report captures everything; callers treat a non-empty
 
 from __future__ import annotations
 
+import os
 import random
+import shutil
+import tempfile
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.durability import DurabilityStore
 from repro.errors import ReproError
 from repro.obs.telemetry import Telemetry
 from repro.resil.policy import RetryPolicy
@@ -85,6 +89,10 @@ class FuzzReport:
     postings_rolled_back: int = 0
     postings_deduped: int = 0
     journal_entries: int = 0
+    #: Mid-campaign crash-restarts performed and WAL records replayed
+    #: rebuilding the crashed banks.
+    crash_restarts: int = 0
+    wal_replayed: int = 0
     #: Pre-rendered causal waterfalls of the episodes that broke an
     #: invariant (forensic auto-dump; at most FORENSIC_DUMP_LIMIT).
     forensics: List[str] = field(default_factory=list)
@@ -107,6 +115,8 @@ class FuzzReport:
             "postings_rolled_back": self.postings_rolled_back,
             "postings_deduped": self.postings_deduped,
             "journal_entries": self.journal_entries,
+            "crash_restarts": self.crash_restarts,
+            "wal_replayed": self.wal_replayed,
             "conservation": "ok" if self.ok else "VIOLATED",
             "violations": list(self.violations),
         }
@@ -139,9 +149,17 @@ def non_settlement_totals(
 class _Fuzzer:
     """One campaign's mutable state."""
 
-    def __init__(self, seed: int, banks: int, faults: bool) -> None:
+    def __init__(
+        self,
+        seed: int,
+        banks: int,
+        faults: bool,
+        crash_restarts: int = 0,
+        data_dir: Optional[str] = None,
+    ) -> None:
         self.rng = random.Random(seed)
         self.faults = faults
+        self.crash_restarts = crash_restarts
         self.telemetry = Telemetry()
         self.realm = Realm(
             seed=b"ledger-fuzz:%d" % seed,
@@ -152,8 +170,30 @@ class _Fuzzer:
                 else None
             ),
         )
+        #: Per-bank durability stores when the campaign crash-restarts;
+        #: empty list entries mean the bank runs memory-only.
+        self._stores: List[Optional[DurabilityStore]] = []
+        for i in range(banks):
+            if crash_restarts > 0:
+                self._stores.append(
+                    DurabilityStore(
+                        os.path.join(data_dir, f"bank{i}"),
+                        telemetry=self.telemetry,
+                        server=f"bank{i}",
+                    )
+                )
+            else:
+                self._stores.append(None)
         self.banks: List[AccountingServer] = [
-            self.realm.accounting_server(f"bank{i}") for i in range(banks)
+            self.realm.accounting_server(
+                f"bank{i}",
+                **(
+                    {"durability": self._stores[i]}
+                    if self._stores[i] is not None
+                    else {}
+                ),
+            )
+            for i in range(banks)
         ]
         if banks >= 3:
             # Route bank0 -> bank2 traffic through bank1, so deposits at
@@ -190,6 +230,44 @@ class _Fuzzer:
             )
             self.realm.network.set_drop_probability(
                 FAULT_RESPONSE_DROP, leg="response"
+            )
+
+    # ------------------------------------------------------------------
+    # Crash-restart
+    # ------------------------------------------------------------------
+
+    def _crash_restart(
+        self, idx: int, episode: int, report: FuzzReport
+    ) -> None:
+        """Kill ``bank{idx}`` and rebuild it from its durability store.
+
+        Process state dies; WAL and snapshot survive.  The recovered
+        bank's books are then subject to the same conservation and audit
+        invariants as everyone else's, every remaining episode.
+        """
+        old = self.banks[idx]
+        name = f"bank{idx}"
+        routes = dict(old.routes)
+        self.realm.network.unregister(old.principal)
+        with self.telemetry.span(
+            "recovery.crash_restart", server=name, episode=episode
+        ):
+            new = self.realm.restart_accounting_server(
+                name, durability=self._stores[idx]
+            )
+        new.routes.update(routes)
+        self.banks[idx] = new
+        report.crash_restarts += 1
+        recovery = new.recovery
+        if recovery is None:
+            report.violations.append(
+                f"episode {episode}: {name} restarted without recovery"
+            )
+            return
+        report.wal_replayed += recovery.total_replayed
+        for problem in recovery.problems:
+            report.violations.append(
+                f"episode {episode}: {name} recovery: {problem}"
             )
 
     # ------------------------------------------------------------------
@@ -417,7 +495,19 @@ class _Fuzzer:
             "replay": self.ep_replay,
             "malformed": self.ep_malformed,
         }
+        # Evenly spaced crash-restarts, banks round-robin — deterministic
+        # in (episodes, crash_restarts, banks), independent of the op rng.
+        restart_at: Dict[int, List[int]] = {}
+        if self.crash_restarts > 0:
+            interval = max(1, episodes // (self.crash_restarts + 1))
+            for k in range(self.crash_restarts):
+                episode = min(episodes - 1, interval * (k + 1))
+                restart_at.setdefault(episode, []).append(
+                    k % len(self.banks)
+                )
         for episode in range(episodes):
+            for idx in restart_at.get(episode, ()):
+                self._crash_restart(idx, episode, report)
             op = self._pick_op()
             report.op_counts[op] = report.op_counts.get(op, 0) + 1
             with self.telemetry.run(f"ep-{episode}-{op}") as run_span:
@@ -471,19 +561,37 @@ def run_fuzz(
     episodes: int,
     banks: int = 2,
     faults: bool = False,
+    crash_restarts: int = 0,
+    data_dir: Optional[str] = None,
     progress: Optional[Callable[[int, FuzzReport], None]] = None,
 ) -> FuzzReport:
     """Run one seeded campaign; see the module docstring.
 
-    Deterministic: the same ``(seed, episodes, banks, faults)`` always
-    performs the same operations and returns the same report.
+    Deterministic: the same ``(seed, episodes, banks, faults,
+    crash_restarts)`` always performs the same operations and returns the
+    same report.  ``crash_restarts`` kills banks mid-campaign (evenly
+    spaced, round-robin) and rebuilds each from its WAL+snapshot store
+    under ``data_dir`` (a temp dir, removed afterwards, when None) — the
+    invariants then hold the *recovered* books to the same standard.
     """
     if banks < 2:
         raise ValueError("the fuzzer needs at least two banks")
     if episodes < 1:
         raise ValueError("episodes must be positive")
-    fuzzer = _Fuzzer(seed, banks, faults)
-    report = FuzzReport(
-        seed=seed, episodes=episodes, banks=banks, faults=faults
-    )
-    return fuzzer.run(episodes, report, progress=progress)
+    if crash_restarts < 0:
+        raise ValueError("crash_restarts cannot be negative")
+    scratch: Optional[str] = None
+    if crash_restarts > 0 and data_dir is None:
+        data_dir = scratch = tempfile.mkdtemp(prefix="repro-fuzz-wal-")
+    try:
+        fuzzer = _Fuzzer(
+            seed, banks, faults, crash_restarts=crash_restarts,
+            data_dir=data_dir,
+        )
+        report = FuzzReport(
+            seed=seed, episodes=episodes, banks=banks, faults=faults
+        )
+        return fuzzer.run(episodes, report, progress=progress)
+    finally:
+        if scratch is not None:
+            shutil.rmtree(scratch, ignore_errors=True)

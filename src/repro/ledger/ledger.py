@@ -27,8 +27,19 @@ the balances match:
   objects.  Any drift means funds moved *outside* the ledger — the
   fuzzer asserts this parity after every episode.
 
+* **Durability** — a ``commit_sink`` (installed by the accounting
+  server's :class:`~repro.durability.DurabilityStore` wiring) receives
+  every *committed* posting record: immediately for postings outside a
+  transaction, at the outermost commit for postings inside one, and
+  never for postings that were rolled back.  Recovery replays those
+  records through :meth:`replay_record`, and snapshot compaction uses
+  :meth:`capture_state` / :meth:`restore_state` — so the books, the
+  derived conservation totals, and the idempotency keys all survive a
+  process crash (``docs/durability.md``).
+
 Telemetry counters (``ledger.postings_applied_total``,
-``ledger.postings_rolled_back_total``, ``ledger.postings_deduped_total``)
+``ledger.postings_rolled_back_total``, ``ledger.postings_deduped_total``,
+``ledger.journal_trimmed_total``)
 land in the obs registry alongside the rest of the server's metrics.
 """
 
@@ -104,6 +115,15 @@ class Ledger:
         self.postings_applied = 0
         self.postings_rolled_back = 0
         self.postings_deduped = 0
+        #: Journal records discarded by the in-memory bound.  Durability
+        #: and recovery never depend on the bounded journal — committed
+        #: postings reach the ``commit_sink`` before any trim — but the
+        #: truncation is counted so it is visible, not silent.
+        self.journal_trimmed = 0
+        #: Called with each committed :class:`PostingRecord` (outside any
+        #: transaction, or at the outermost commit).  Installed by the
+        #: durability wiring; None means no WAL.
+        self.commit_sink = None
 
     # ------------------------------------------------------------------
     # Applying postings
@@ -168,6 +188,7 @@ class Ledger:
         if self._txn_stack:
             self._txn_stack[-1].append(record)
         else:
+            self._commit(record)
             self._trim_journal()
         self._account_totals(posting)
         self.postings_applied += 1
@@ -207,7 +228,14 @@ class Ledger:
         if self._txn_stack:
             self._txn_stack[-1].extend(frame)
         else:
+            for record in frame:
+                self._commit(record)
             self._trim_journal()
+
+    def _commit(self, record: PostingRecord) -> None:
+        """A record is final — an outer rollback can no longer undo it."""
+        if self.commit_sink is not None:
+            self.commit_sink(record)
 
     # ------------------------------------------------------------------
     # Leg mechanics
@@ -358,6 +386,113 @@ class Ledger:
         overflow = len(self.journal) - self.max_journal
         if overflow > 0:
             del self.journal[:overflow]
+            self.journal_trimmed += overflow
+            self.telemetry.inc(
+                "ledger.journal_trimmed_total",
+                overflow,
+                help="Posting records dropped from the bounded in-memory "
+                "journal (durability is WAL-backed and unaffected).",
+                server=self.server,
+            )
+
+    # ------------------------------------------------------------------
+    # Durability (see docs/durability.md)
+    # ------------------------------------------------------------------
+
+    def record_to_wire(self, record: PostingRecord) -> dict:
+        """The WAL payload for one committed record."""
+        from repro.ledger.wal import posting_to_wire
+
+        return {
+            "posting_id": record.posting_id,
+            "posting": posting_to_wire(record.posting),
+            "time": record.time,
+            "dedupe_key": record.dedupe_key,
+        }
+
+    def replay_record(self, data: dict) -> PostingRecord:
+        """Re-apply one WAL posting record during recovery.
+
+        Replays run through :meth:`post` — the same validation and leg
+        mechanics as the original application — so the rebuilt balances,
+        holds, derived totals, and dedupe keys are exactly what a live
+        server would hold.  The original posting id and timestamp are
+        restored afterwards (``post`` stamps recovery-time values), and
+        the id counter is bumped past the replayed id so post-recovery
+        postings never reuse a pre-crash id.
+        """
+        posting = self._posting_from_wire(data["posting"])
+        record = self.post(posting, dedupe_key=data.get("dedupe_key"))
+        record.posting_id = int(data["posting_id"])
+        record.time = float(data["time"])
+        self._next_id = max(self._next_id, record.posting_id + 1)
+        return record
+
+    @staticmethod
+    def _posting_from_wire(data: dict) -> Posting:
+        from repro.ledger.wal import posting_from_wire
+
+        return posting_from_wire(data)
+
+    def capture_state(self) -> dict:
+        """Ledger-internal state for a snapshot (accounts are captured by
+        the owning server — they are shared live objects, not ours)."""
+        from repro.ledger.wal import posting_to_wire
+
+        return {
+            "next_id": self._next_id,
+            "derived_available": [
+                [account, currency, amount]
+                for (account, currency), amount in self.derived_available.items()
+            ],
+            "derived_held": [
+                [account, currency, amount]
+                for (account, currency), amount in self.derived_held.items()
+            ],
+            "minted": dict(self.minted),
+            "imported": dict(self.imported),
+            "dedupe": [
+                [
+                    key,
+                    expires_at,
+                    record.posting_id,
+                    posting_to_wire(record.posting),
+                    record.time,
+                ]
+                for key, (expires_at, record) in self._dedupe.items()
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore :meth:`capture_state` output (snapshot recovery).
+
+        The in-memory journal is *not* rebuilt — it is a bounded
+        diagnostic view, and pre-snapshot records are definitionally
+        beyond its horizon; WAL replay repopulates the recent tail.
+        """
+        self._next_id = int(state["next_id"])
+        self.derived_available = {
+            (account, currency): amount
+            for account, currency, amount in state["derived_available"]
+        }
+        self.derived_held = {
+            (account, currency): amount
+            for account, currency, amount in state["derived_held"]
+        }
+        self.minted = dict(state["minted"])
+        self.imported = dict(state["imported"])
+        self._dedupe = OrderedDict()
+        now = self.clock.now()
+        for key, expires_at, posting_id, posting_wire, time in state["dedupe"]:
+            if expires_at < now:
+                continue
+            record = PostingRecord(
+                posting_id=int(posting_id),
+                posting=self._posting_from_wire(posting_wire),
+                time=float(time),
+                dedupe_key=key,
+            )
+            self._dedupe[key] = (float(expires_at), record)
 
     # ------------------------------------------------------------------
     # Invariants

@@ -39,11 +39,15 @@ Workloads mirror the paper's figures:
 
 from __future__ import annotations
 
+import os
+import shutil
+import tempfile
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.acl import AclEntry, SinglePrincipal
 from repro.core.restrictions import Authorized, AuthorizedEntry, Grantee
+from repro.durability import DurabilityStore
 from repro.encoding.identifiers import PrincipalId
 from repro.errors import ReproError
 from repro.kerberos.kdc import kdc_principal
@@ -80,6 +84,16 @@ class CampaignSpec:
     #: on the simulated fabric; pacing spreads them out so ``outage``
     #: windows expressed in seconds actually overlap the workload.
     pacing: float = 1.0
+    #: Kill a workload server mid-campaign and rebuild it from its
+    #: durability store: ``(server_name, tick)`` crashes ``server_name``
+    #: just before unit ``tick`` runs.  Only the faulted arm crashes; the
+    #: baseline stays up, so parity proves recovery is lossless.
+    crash_restart: Optional[Tuple[str, int]] = None
+    #: Delivery runtime for both arms: ``"sync"`` or ``"aio"``.
+    runtime: str = "sync"
+    #: Directory for WAL/snapshot files (a temp dir, removed after the
+    #: run, when None).
+    data_dir: Optional[str] = None
 
     def describe_faults(self) -> str:
         parts = []
@@ -92,6 +106,12 @@ class CampaignSpec:
             parts.append(f"authority outage t+{start:g}s..t+{stop:g}s")
         if self.kill_primary:
             parts.append("primary KDC killed (replica stands in)")
+        if self.crash_restart:
+            server, tick = self.crash_restart
+            parts.append(
+                f"crash-restart {server} before unit {tick} "
+                "(recover from WAL)"
+            )
         return ", ".join(parts) if parts else "none"
 
 
@@ -123,6 +143,11 @@ class ChaosReport:
     finale: Any = None
     baseline_finale: Any = None
     extras: Dict[str, int] = field(default_factory=dict)
+    #: Machine-checked recovery failures from crash-restart campaigns:
+    #: unreplayable WAL records, snapshot gaps, and post-recovery ledger
+    #: audit discrepancies.  Empty means every restarted server came back
+    #: with books that balance and an audit trail that parses.
+    recovery_problems: List[str] = field(default_factory=list)
     #: Pre-rendered causal waterfalls of the offending units, populated
     #: when the campaign fails its promise (forensic auto-dump).
     forensics: List[str] = field(default_factory=list)
@@ -172,7 +197,9 @@ class ChaosReport:
         """Non-zero only when the resilient arm failed its promise."""
         if not self.spec.retry:
             return 0
-        return 1 if self.unrecoverable or not self.parity else 0
+        if self.unrecoverable or not self.parity:
+            return 1
+        return 1 if self.recovery_problems else 0
 
     # -- rendering ---------------------------------------------------------
 
@@ -223,6 +250,19 @@ class ChaosReport:
                 )
                 lines.append(f"  unit {unit.index}: {unit.error}{suffix}")
             lines.append("")
+        if self.spec.crash_restart:
+            if self.recovery_problems:
+                lines.append(
+                    f"recovery: FAIL — {len(self.recovery_problems)} "
+                    "problem(s) rebuilding durable state"
+                )
+                for problem in self.recovery_problems[:5]:
+                    lines.append(f"  {problem}")
+            else:
+                lines.append(
+                    "recovery: OK — restarted server rebuilt from "
+                    "WAL+snapshot with balanced books"
+                )
         mismatched = self.mismatches()
         if mismatched:
             lines.append(
@@ -274,7 +314,56 @@ class _Workload:
     are injected only afterwards, mirroring the figures' convention of
     omitting key-distribution traffic).  ``unit`` performs one
     application-level exchange and returns a comparable outcome.
+
+    ``RESTARTABLE`` names the servers a ``crash_restart`` fault may
+    target: server name -> (state key, server kind).  A targeted server
+    is built with a :class:`~repro.durability.DurabilityStore` (attached
+    via :meth:`attach_durability` before ``setup`` runs) so the crash
+    loses the process but not the WAL.
     """
+
+    #: server name -> (state key holding the live server, restart kind).
+    RESTARTABLE: Dict[str, Tuple[str, str]] = {}
+
+    def __init__(self) -> None:
+        self._durability: Dict[str, DurabilityStore] = {}
+        #: (name, server) for every crash-restarted server, in order.
+        self.restarted: List[Tuple[str, Any]] = []
+
+    def attach_durability(self, name: str, store: DurabilityStore) -> None:
+        """Give ``name``'s server a durability store before setup."""
+        self._durability[name] = store
+
+    def _server_kwargs(self, name: str) -> dict:
+        store = self._durability.get(name)
+        return {} if store is None else {"durability": store}
+
+    def crash_restart(self, realm: Realm, state: dict, name: str) -> Any:
+        """Kill ``name``'s server and rebuild it from its store.
+
+        The crash model: process state (sessions, in-memory registries,
+        balances) vanishes; the WAL and snapshot on disk survive.  The
+        replacement registers the principal's network handler again and
+        recovers before serving.  Clients notice only as dropped sessions,
+        which the service client re-establishes transparently.
+        """
+        if name not in self.RESTARTABLE:
+            raise ValueError(
+                f"workload cannot crash-restart {name!r}; "
+                f"restartable servers: {sorted(self.RESTARTABLE)}"
+            )
+        state_key, kind = self.RESTARTABLE[name]
+        old = state[state_key]
+        realm.network.unregister(realm.principal(name))
+        kwargs = self._server_kwargs(name)
+        if kind == "accounting":
+            server = realm.restart_accounting_server(name, **kwargs)
+            server.routes.update(old.routes)
+        else:
+            server = realm.restart_file_server(name, **kwargs)
+        state[state_key] = server
+        self.restarted.append((name, server))
+        return server
 
     def setup(self, realm: Realm) -> dict:
         raise NotImplementedError
@@ -294,11 +383,18 @@ class _Workload:
         return 0, 0
 
     def extras(self, state: dict) -> Dict[str, int]:
-        return {}
+        out: Dict[str, int] = {}
+        if self.restarted:
+            out["crash restarts"] = len(self.restarted)
+            out["wal records replayed"] = sum(
+                server.recovery.total_replayed
+                for _, server in self.restarted
+                if server.recovery is not None
+            )
+        return out
 
-    @staticmethod
-    def _file_server(realm: Realm, docs: int = 5):
-        fs = realm.file_server("files")
+    def _file_server(self, realm: Realm, docs: int = 5):
+        fs = realm.file_server("files", **self._server_kwargs("files"))
         for k in range(docs):
             fs.put(f"doc{k}.txt", b"contents of doc %d" % k)
         return fs
@@ -306,6 +402,8 @@ class _Workload:
 
 class _Fig1(_Workload):
     """Bearer capability presented anonymously; verification is offline."""
+
+    RESTARTABLE = {"files": ("fs", "file")}
 
     def setup(self, realm: Realm) -> dict:
         alice = realm.user("alice")
@@ -342,6 +440,8 @@ class _Fig1(_Workload):
 
 class _Fig3(_Workload):
     """Authorization-server grants with the degraded-mode client cache."""
+
+    RESTARTABLE = {"files": ("fs", "file")}
 
     def setup(self, realm: Realm) -> dict:
         fs = self._file_server(realm)
@@ -382,6 +482,8 @@ class _Fig3(_Workload):
 
 class _Fig4(_Workload):
     """Delegate cascade alice -> carol -> dave, one fresh chain per unit."""
+
+    RESTARTABLE = {"files": ("fs", "file")}
 
     def setup(self, realm: Realm) -> dict:
         alice = realm.user("alice")
@@ -428,11 +530,20 @@ class _Fig4(_Workload):
 class _Fig5(_Workload):
     """Cross-bank check clearing; the E2 hop rides the same fabric."""
 
+    RESTARTABLE = {
+        "bank-payor": ("bank_payor", "accounting"),
+        "bank-payee": ("bank_payee", "accounting"),
+    }
+
     def setup(self, realm: Realm) -> dict:
         payor = realm.user("payor")
         payee = realm.user("payee")
-        bank_payor = realm.accounting_server("bank-payor")
-        bank_payee = realm.accounting_server("bank-payee")
+        bank_payor = realm.accounting_server(
+            "bank-payor", **self._server_kwargs("bank-payor")
+        )
+        bank_payee = realm.accounting_server(
+            "bank-payee", **self._server_kwargs("bank-payee")
+        )
         bank_payor.create_account(
             "payor", payor.principal, {"dollars": 10_000}
         )
@@ -483,11 +594,15 @@ WORKLOADS: Dict[str, type] = {
 # ---------------------------------------------------------------------------
 
 
-def _build(spec: CampaignSpec, faulted: bool) -> Tuple[Realm, _Workload, dict]:
-    """A seeded realm with the workload deployed and warmed.
+def _prepare(
+    spec: CampaignSpec, faulted: bool, data_dir: Optional[str]
+) -> Tuple[Realm, _Workload]:
+    """A seeded realm and workload, durability attached, nothing deployed.
 
     ``kill_primary`` campaigns kill the primary *before* any traffic so
-    even ticket warm-up exercises failover.
+    even ticket warm-up exercises failover.  Deployment (``setup``) is
+    left to :func:`_run_arm` — on the aio runtime it must happen inside
+    the served loop.
     """
     policy = (
         CAMPAIGN_POLICY if (spec.retry or not faulted) else NO_RETRY
@@ -499,17 +614,62 @@ def _build(spec: CampaignSpec, faulted: bool) -> Tuple[Realm, _Workload, dict]:
     # the baseline stays untraced because parity compares application
     # outcomes, and recording both arms would double the span load.
     telemetry = Telemetry() if faulted else None
-    realm = Realm(seed=seed, resilience=policy, telemetry=telemetry)
+    realm = Realm(
+        seed=seed,
+        resilience=policy,
+        telemetry=telemetry,
+        runtime=spec.runtime,
+    )
     workload = WORKLOADS[spec.figure]()
+    if faulted and spec.crash_restart is not None:
+        name, _ = spec.crash_restart
+        if name not in workload.RESTARTABLE:
+            raise ValueError(
+                f"{spec.figure} cannot crash-restart {name!r}; "
+                f"restartable servers: {sorted(workload.RESTARTABLE)}"
+            )
+        workload.attach_durability(
+            name,
+            DurabilityStore(
+                os.path.join(data_dir, name),
+                telemetry=realm.telemetry,
+                server=name,
+            ),
+        )
     if faulted and spec.kill_primary:
         realm.kdc_replica("kdc-standby")
         realm.network.blackhole(kdc_principal(realm.realm))
-    state = workload.setup(realm)
-    if realm.telemetry.enabled:
-        # Warm-up traffic (tickets, sessions) is not part of any unit.
-        realm.telemetry.tracer.clear()
-        realm.telemetry.store.clear()
-    return realm, workload, state
+    return realm, workload
+
+
+def _run_arm(
+    spec: CampaignSpec, faulted: bool, data_dir: Optional[str]
+) -> Tuple[Realm, _Workload, dict]:
+    """Deploy and run one arm; returns (realm, workload, results dict)."""
+    realm, workload = _prepare(spec, faulted, data_dir)
+    out: dict = {}
+
+    def body() -> None:
+        state = workload.setup(realm)
+        if realm.telemetry.enabled:
+            # Warm-up traffic (tickets, sessions) is not part of any unit.
+            realm.telemetry.tracer.clear()
+            realm.telemetry.store.clear()
+        if faulted:
+            _inject(realm, workload, state, spec)
+        started = realm.clock.now()
+        out["units"] = _run_units(realm, workload, state, spec, faulted)
+        out["state"] = state
+        out["sim_seconds"] = realm.clock.now() - started
+        out["finale"] = workload.finale(realm, state)
+
+    if spec.runtime == "aio":
+        from repro.net.aio import drive
+
+        drive(realm.network, body)
+    else:
+        body()
+    return realm, workload, out
 
 
 def _inject(
@@ -533,14 +693,24 @@ def _inject(
 
 
 def _run_units(
-    realm: Realm, workload: _Workload, state: dict, spec: CampaignSpec
+    realm: Realm,
+    workload: _Workload,
+    state: dict,
+    spec: CampaignSpec,
+    faulted: bool = True,
 ) -> List[UnitResult]:
     from repro.clock import SimulatedClock
 
+    crash = spec.crash_restart if faulted else None
     results: List[UnitResult] = []
     for index in range(spec.units):
         if spec.pacing > 0 and isinstance(realm.clock, SimulatedClock):
             realm.clock.advance(spec.pacing)
+        if crash is not None and index == crash[1]:
+            with realm.telemetry.span(
+                "recovery.crash_restart", server=crash[0], unit=index
+            ):
+                workload.crash_restart(realm, state, crash[0])
         trace_id = ""
         try:
             with realm.telemetry.run(
@@ -566,6 +736,28 @@ def _run_units(
     return results
 
 
+def _recovery_problems(workload: _Workload) -> List[str]:
+    """Machine-check every crash-restarted server's rebuilt state.
+
+    Three layers: the recovery report itself (unreplayable records,
+    snapshot gaps), per-currency conservation, and derived-vs-live audit
+    parity on recovered accounting servers.
+    """
+    problems: List[str] = []
+    for name, server in workload.restarted:
+        recovery = server.recovery
+        if recovery is None:
+            problems.append(f"{name}: restarted without running recovery")
+            continue
+        problems.extend(f"{name}: {p}" for p in recovery.problems)
+        ledger = getattr(server, "ledger", None)
+        if ledger is not None:
+            problems.extend(
+                f"{name}: {p}" for p in ledger.audit_discrepancies()
+            )
+    return problems
+
+
 def run_campaign(spec: CampaignSpec) -> ChaosReport:
     """Run the baseline and the faulted arm; return the comparison."""
     if spec.figure not in WORKLOADS:
@@ -573,34 +765,44 @@ def run_campaign(spec: CampaignSpec) -> ChaosReport:
             f"unknown figure {spec.figure!r}; "
             f"choose from {sorted(WORKLOADS)}"
         )
+    if spec.crash_restart is not None:
+        _, tick = spec.crash_restart
+        if not 0 <= tick < spec.units:
+            raise ValueError(
+                f"crash-restart tick {tick} must fall inside the "
+                f"campaign's {spec.units} units"
+            )
 
-    base_realm, base_workload, base_state = _build(spec, faulted=False)
-    baseline_units = _run_units(base_realm, base_workload, base_state, spec)
-    baseline_finale = base_workload.finale(base_realm, base_state)
+    data_dir = spec.data_dir
+    scratch: Optional[str] = None
+    if spec.crash_restart is not None and data_dir is None:
+        data_dir = scratch = tempfile.mkdtemp(prefix="repro-chaos-wal-")
+    try:
+        _, base_workload, base = _run_arm(spec, False, data_dir)
+        realm, workload, run = _run_arm(spec, True, data_dir)
+        state = run["state"]
 
-    realm, workload, state = _build(spec, faulted=True)
-    _inject(realm, workload, state, spec)
-    started = realm.clock.now()
-    units = _run_units(realm, workload, state, spec)
-    finale = workload.finale(realm, state)
-
-    degraded_client, degraded_server = workload.degraded_counts(state)
-    report = ChaosReport(
-        spec=spec,
-        units=units,
-        baseline_units=baseline_units,
-        stats=realm.channel.stats.as_dict(),
-        dedupe_hits=sum(cache.hits for cache in realm.dedupe_caches),
-        degraded_client=degraded_client,
-        degraded_server=degraded_server,
-        sim_seconds=realm.clock.now() - started,
-        finale=finale,
-        baseline_finale=baseline_finale,
-        extras=workload.extras(state),
-    )
-    if report.exit_code() != 0 and realm.telemetry.enabled:
-        _attach_forensics(report, realm.telemetry)
-    return report
+        degraded_client, degraded_server = workload.degraded_counts(state)
+        report = ChaosReport(
+            spec=spec,
+            units=run["units"],
+            baseline_units=base["units"],
+            stats=realm.channel.stats.as_dict(),
+            dedupe_hits=sum(cache.hits for cache in realm.dedupe_caches),
+            degraded_client=degraded_client,
+            degraded_server=degraded_server,
+            sim_seconds=run["sim_seconds"],
+            finale=run["finale"],
+            baseline_finale=base["finale"],
+            extras=workload.extras(state),
+            recovery_problems=_recovery_problems(workload),
+        )
+        if report.exit_code() != 0 and realm.telemetry.enabled:
+            _attach_forensics(report, realm.telemetry)
+        return report
+    finally:
+        if scratch is not None:
+            shutil.rmtree(scratch, ignore_errors=True)
 
 
 #: A failed campaign dumps at most this many unit traces — enough to

@@ -45,6 +45,10 @@ class ResponseCache:
         self._entries: "OrderedDict[bytes, tuple]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: Called with ``(key, expires_at, response)`` on every store —
+        #: installed by the durability wiring so cached replies survive a
+        #: crash and a post-restart resend is still answered, not re-run.
+        self.sink = None
 
     @staticmethod
     def key_of(message: Message) -> Optional[bytes]:
@@ -88,8 +92,32 @@ class ResponseCache:
 
     def put(self, key: bytes, response: dict) -> None:
         now = self.clock.now()
-        self._entries[key] = (now + self.window, response)
+        expires_at = now + self.window
+        self._entries[key] = (expires_at, response)
+        if self.sink is not None:
+            self.sink(key, expires_at, response)
         self._evict(now)
+
+    def restore(self, key: bytes, expires_at: float, response: dict) -> None:
+        """Re-insert one cached response during recovery (skip expired)."""
+        if expires_at < self.clock.now():
+            return
+        self._entries[key] = (float(expires_at), response)
+
+    def capture_state(self) -> dict:
+        """Snapshot of every live cache entry."""
+        self._evict(self.clock.now())
+        return {
+            "entries": [
+                [key, expires_at, response]
+                for key, (expires_at, response) in self._entries.items()
+            ]
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore :meth:`capture_state` output (snapshot recovery)."""
+        for key, expires_at, response in state["entries"]:
+            self.restore(key, float(expires_at), response)
 
     def __len__(self) -> int:
         return len(self._entries)

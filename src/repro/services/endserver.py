@@ -28,7 +28,7 @@ from dataclasses import dataclass, field, replace as _dc_replace
 from typing import Callable, Dict, FrozenSet, Optional, Tuple
 
 from repro.acl import AccessControlList
-from repro.audit import AuditLog
+from repro.audit import AuditLog, AuditRecord
 from repro.clock import Clock
 from repro.core.evaluation import RequestContext, evaluate
 from repro.core.restrictions import GroupMembership
@@ -96,6 +96,13 @@ class EndServer(Service):
     #: the issuing operation itself (§7.9).
     ISSUER_MODE = False
 
+    #: Whether ``__init__`` runs recovery itself.  Subclasses that wire
+    #: additional durable components *after* ``super().__init__`` (the
+    #: accounting server's ledger, the file server's file store) set this
+    #: False and call :meth:`_recover_durable_state` once fully wired —
+    #: recovery must see every handler or replay reports problems.
+    _DURABILITY_AUTORECOVER = True
+
     def __init__(
         self,
         principal: PrincipalId,
@@ -112,6 +119,7 @@ class EndServer(Service):
         authority_monitor: Optional[
             Callable[[PrincipalId], bool]
         ] = None,
+        durability=None,
     ) -> None:
         super().__init__(
             principal,
@@ -149,6 +157,106 @@ class EndServer(Service):
         #: possession proofs (§2: "a signed or encrypted timestamp or
         #: server challenge").
         self._challenges: Dict[bytes, float] = {}
+        #: Optional :class:`~repro.durability.DurabilityStore`.  When set,
+        #: accept-once registrations, ``_rid``-keyed cached responses, and
+        #: audit records survive a crash-restart: a server rebuilt from
+        #: the same store still rejects a replayed single-use proxy and
+        #: still answers a resent request from cache (``docs/
+        #: durability.md``).  Sessions are deliberately *not* persisted —
+        #: clients re-establish them, as with any real server restart.
+        self.durability = durability
+        #: The :class:`~repro.durability.RecoveryReport` from this
+        #: server's startup recovery (None without durability).
+        self.recovery = None
+        if durability is not None:
+            self._wire_durability()
+            if self._DURABILITY_AUTORECOVER:
+                self._recover_durable_state()
+
+    # ------------------------------------------------------------------
+    # Durability wiring
+    # ------------------------------------------------------------------
+
+    def _wire_durability(self) -> None:
+        """Connect the durable components to the store.
+
+        Three per-server components persist: the accept-once registry
+        (consumed single-use identifiers — check numbers, §4), the
+        response cache (``_rid`` -> reply, the exactly-once layer), and
+        the audit log.  Each commits to the WAL as it changes and
+        registers a snapshotter for compaction.
+        """
+        store = self.durability
+        accept_once = self.acceptor.verifier.accept_once
+
+        def sink_accept(kind, grantor, identifier, expires_at, used):
+            store.append(
+                "accept",
+                {
+                    "kind": kind,
+                    "grantor": grantor.to_wire(),
+                    "identifier": identifier,
+                    "expires_at": expires_at,
+                    "used": used,
+                },
+            )
+
+        accept_once.commit_sink = sink_accept
+        store.handler(
+            "accept",
+            lambda data: accept_once.restore(
+                data["kind"],
+                PrincipalId.from_wire(data["grantor"]),
+                data["identifier"],
+                float(data["expires_at"]),
+                used=int(data.get("used", 1)),
+            ),
+        )
+        store.snapshotter(
+            "accept_once",
+            accept_once.capture_state,
+            accept_once.restore_state,
+        )
+
+        if self.dedupe is not None:
+            dedupe = self.dedupe
+
+            def sink_response(key, expires_at, response):
+                store.append(
+                    "response",
+                    {
+                        "key": key,
+                        "expires_at": expires_at,
+                        "response": response,
+                    },
+                )
+
+            dedupe.sink = sink_response
+            store.handler(
+                "response",
+                lambda data: dedupe.restore(
+                    data["key"],
+                    float(data["expires_at"]),
+                    data["response"],
+                ),
+            )
+            store.snapshotter(
+                "responses", dedupe.capture_state, dedupe.restore_state
+            )
+
+        audit = self.audit
+        audit.sink = lambda entry: store.append("audit", entry.to_wire())
+        store.handler(
+            "audit",
+            lambda data: audit.restore(AuditRecord.from_wire(data)),
+        )
+        store.snapshotter(
+            "audit", audit.capture_state, audit.restore_state
+        )
+
+    def _recover_durable_state(self) -> None:
+        """Replay snapshot + WAL into the wired components."""
+        self.recovery = self.durability.recover()
 
     # ------------------------------------------------------------------
 

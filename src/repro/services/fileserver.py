@@ -28,6 +28,10 @@ BYTES = "bytes"
 class FileServer(EndServer):
     """Flat-namespace file store guarded by an ACL."""
 
+    #: File contents and granted ACL entries are wired after
+    #: ``super().__init__``; recovery runs once everything is registered.
+    _DURABILITY_AUTORECOVER = False
+
     def __init__(
         self,
         principal: PrincipalId,
@@ -41,11 +45,62 @@ class FileServer(EndServer):
             principal, secret_key, network, clock, acl=acl, **kwargs
         )
         self.files: Dict[str, bytes] = {}
+        #: (owner wire, prefix) pairs from :meth:`grant_owner`, kept so a
+        #: snapshot can rebuild the granted entries after compaction.
+        self._granted_owners = []
         self.register_operation("read", self._op_read)
         self.register_operation("write", self._op_write)
         self.register_operation("delete", self._op_delete)
         self.register_operation("list", self._op_list)
         self.register_operation("stat", self._op_stat)
+        if self.durability is not None:
+            self._wire_file_durability()
+            self._recover_durable_state()
+
+    # -- durability -----------------------------------------------------------
+
+    def _wire_file_durability(self) -> None:
+        """Persist file mutations and owner grants."""
+        store = self.durability
+        store.handler(
+            "file_put",
+            lambda data: self.files.__setitem__(data["path"], data["data"]),
+        )
+        store.handler(
+            "file_del", lambda data: self.files.pop(data["path"], None)
+        )
+        store.handler("acl_owner", self._replay_acl_owner)
+        store.snapshotter(
+            "files", self._capture_files, self._restore_files
+        )
+
+    def _replay_acl_owner(self, data: dict) -> None:
+        self._granted_owners.append((data["owner"], data["prefix"]))
+        self.acl.add(
+            AclEntry(
+                subject=SinglePrincipal(PrincipalId.from_wire(data["owner"])),
+                targets=(data["prefix"],),
+            )
+        )
+
+    def _capture_files(self) -> dict:
+        return {
+            "files": dict(self.files),
+            "granted_owners": [
+                [owner, prefix] for owner, prefix in self._granted_owners
+            ],
+        }
+
+    def _restore_files(self, state: dict) -> None:
+        self.files.update(state["files"])
+        for owner, prefix in state["granted_owners"]:
+            self._replay_acl_owner({"owner": owner, "prefix": prefix})
+
+    def _log_put(self, path: str, data: bytes) -> None:
+        if self.durability is not None:
+            self.durability.append(
+                "file_put", {"path": path, "data": data}
+            )
 
     # -- convenience for tests/examples -------------------------------------
 
@@ -54,10 +109,16 @@ class FileServer(EndServer):
         self.acl.add(
             AclEntry(subject=SinglePrincipal(owner), targets=(prefix,))
         )
+        self._granted_owners.append((owner.to_wire(), prefix))
+        if self.durability is not None:
+            self.durability.append(
+                "acl_owner", {"owner": owner.to_wire(), "prefix": prefix}
+            )
 
     def put(self, path: str, data: bytes) -> None:
         """Server-side seed (bypasses authorization; fixture use only)."""
         self.files[path] = data
+        self._log_put(path, data)
 
     # -- operations ----------------------------------------------------------
 
@@ -90,6 +151,7 @@ class FileServer(EndServer):
                 f"declared {declared} {BYTES} but wrote {len(data)}"
             )
         self.files[path] = data
+        self._log_put(path, data)
         self.telemetry.inc(
             "fileserver_bytes_written_total",
             len(data),
@@ -101,6 +163,8 @@ class FileServer(EndServer):
     def _op_delete(self, request: AuthorizedRequest) -> dict:
         path = self._require_target(request)
         existed = self.files.pop(path, None) is not None
+        if existed and self.durability is not None:
+            self.durability.append("file_del", {"path": path})
         return {"deleted": existed}
 
     def _op_list(self, request: AuthorizedRequest) -> dict:

@@ -189,6 +189,10 @@ class Realm:
             dedupe=self._dedupe_cache(),
         )
         self.users: Dict[str, User] = {}
+        #: Crash-restart counters per server name: each restart forks
+        #: fresh rng streams (tagged with the count) so a restarted
+        #: server never re-draws its predecessor's random sequence.
+        self._restarts: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
 
@@ -302,6 +306,63 @@ class Realm:
             self.clock,
             kerberos=agent,
             rng=self.rng.fork(b"acct:" + name.encode()),
+            **kwargs,
+        )
+
+    # ------------------------------------------------------------------
+    # Crash-restart (durability layer)
+    # ------------------------------------------------------------------
+
+    def _restart_identity(self, name: str):
+        """Identity for a restarted server: the *same* principal and the
+        *same* long-term key (re-registering would mint a fresh key and
+        silently invalidate every outstanding ticket for the server —
+        a crash does not rotate keys), but restart-tagged rng forks."""
+        principal = self.principal(name)
+        key = self.kdc.database.key_of(principal)
+        count = self._restarts.get(name, 0) + 1
+        self._restarts[name] = count
+        tag = name.encode() + b"#%d" % count
+        agent = KerberosClient(
+            principal,
+            key,
+            self._fabric,
+            self.clock,
+            rng=self.rng.fork(b"srv:" + tag),
+        )
+        return principal, key, agent, tag
+
+    def restart_accounting_server(self, name: str, **kwargs) -> AccountingServer:
+        """Rebuild an accounting server after a simulated crash.
+
+        The caller unregisters (or just abandons) the dead instance;
+        constructing the replacement re-registers the principal's network
+        handler.  Pass the dead server's ``durability`` store to recover
+        its books; without one this models a server that lost everything.
+        """
+        principal, key, agent, tag = self._restart_identity(name)
+        kwargs = self._apply_verify_cache(kwargs)
+        return AccountingServer(
+            principal,
+            key,
+            self._fabric,
+            self.clock,
+            kerberos=agent,
+            rng=self.rng.fork(b"acct:" + tag),
+            **kwargs,
+        )
+
+    def restart_file_server(self, name: str, **kwargs) -> FileServer:
+        """Rebuild a file server after a simulated crash (see
+        :meth:`restart_accounting_server`)."""
+        principal, key, _, tag = self._restart_identity(name)
+        kwargs = self._apply_verify_cache(kwargs)
+        return FileServer(
+            principal,
+            key,
+            self._fabric,
+            self.clock,
+            rng=self.rng.fork(b"fs:" + tag),
             **kwargs,
         )
 

@@ -1,0 +1,252 @@
+"""WAL framing, snapshots, and the durability store primitives.
+
+The byte format (``repro.ledger.wal``) must round-trip cleanly, stop at
+the first torn record, and never reuse a record boundary; the store
+(``repro.durability``) must compact, recover snapshot-then-WAL, and
+report problems instead of silently dropping state.
+"""
+
+import os
+
+import pytest
+
+from repro.durability import DurabilityStore
+from repro.ledger import wal
+from repro.ledger.posting import (
+    CREDIT,
+    DEBIT,
+    HOLD,
+    Leg,
+    Posting,
+    usage_charge,
+)
+from repro.encoding.identifiers import PrincipalId
+
+
+class TestFraming:
+    def test_round_trip_many_records(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        payloads = [{"kind": "t", "data": {"n": i}} for i in range(20)]
+        for payload in payloads:
+            wal.append_record(path, payload)
+        records, torn = wal.read_records(path)
+        assert records == payloads
+        assert torn == 0
+
+    def test_missing_file_is_empty_log(self, tmp_path):
+        assert wal.read_records(str(tmp_path / "absent.log")) == ([], 0)
+
+    def test_oversized_record_rejected(self):
+        with pytest.raises(wal.WalError):
+            wal.frame({"blob": b"x" * (wal.MAX_RECORD + 1)})
+
+    def test_torn_payload_stops_scan(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal.append_record(path, {"n": 1})
+        # A crash mid-append: header promises more payload than landed.
+        with open(path, "ab") as handle:
+            handle.write(wal.frame({"n": 2})[:-3])
+        records, torn = wal.read_records(path)
+        assert [r["n"] for r in records] == [1]
+        assert torn == len(wal.frame({"n": 2})) - 3
+
+    def test_corrupt_crc_stops_scan(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal.append_record(path, {"n": 1})
+        wal.append_record(path, {"n": 2})
+        with open(path, "r+b") as handle:
+            handle.seek(-1, os.SEEK_END)
+            last = handle.read(1)
+            handle.seek(-1, os.SEEK_END)
+            handle.write(bytes([last[0] ^ 0xFF]))
+        records, torn = wal.read_records(path)
+        assert [r["n"] for r in records] == [1]
+        assert torn == len(wal.frame({"n": 2}))
+
+    def test_absurd_length_prefix_treated_as_torn(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal.append_record(path, {"n": 1})
+        with open(path, "ab") as handle:
+            handle.write(wal.HEADER.pack(wal.MAX_RECORD + 1, 0) + b"junk")
+        records, torn = wal.read_records(path)
+        assert [r["n"] for r in records] == [1]
+        assert torn > 0
+
+    def test_truncate_then_append_resumes_cleanly(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal.append_record(path, {"n": 1})
+        with open(path, "ab") as handle:
+            handle.write(b"\x00\x01half-a-record")
+        _, torn = wal.read_records(path)
+        wal.truncate(path, torn)
+        wal.append_record(path, {"n": 2})
+        records, torn = wal.read_records(path)
+        assert [r["n"] for r in records] == [1, 2]
+        assert torn == 0
+
+
+class TestSnapshot:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "snapshot.bin")
+        wal.write_snapshot(path, {"components": {"x": {"a": 1}}})
+        assert wal.read_snapshot(path) == {"components": {"x": {"a": 1}}}
+
+    def test_missing_is_none(self, tmp_path):
+        assert wal.read_snapshot(str(tmp_path / "absent.bin")) is None
+
+    def test_garbage_is_none(self, tmp_path):
+        path = str(tmp_path / "snapshot.bin")
+        with open(path, "wb") as handle:
+            handle.write(b"not a framed record")
+        assert wal.read_snapshot(path) is None
+
+    def test_replace_is_atomic_no_tmp_left(self, tmp_path):
+        path = str(tmp_path / "snapshot.bin")
+        wal.write_snapshot(path, {"v": 1})
+        wal.write_snapshot(path, {"v": 2})
+        assert wal.read_snapshot(path) == {"v": 2}
+        assert not os.path.exists(path + ".tmp")
+
+
+class TestPostingWire:
+    def test_transfer_round_trip(self):
+        posting = usage_charge("alice", "revenue", "dollars", 30)
+        again = wal.posting_from_wire(wal.posting_to_wire(posting))
+        assert again == posting
+
+    def test_hold_leg_round_trip(self):
+        payee = PrincipalId("carol", "REALM")
+        posting = Posting(
+            legs=(
+                Leg(
+                    account="alice",
+                    side=DEBIT,
+                    currency="dollars",
+                    amount=5,
+                ),
+                Leg(
+                    account="alice",
+                    side=CREDIT,
+                    currency="dollars",
+                    amount=5,
+                    bucket=HOLD,
+                    hold_id="ck-1",
+                    hold_payee=payee,
+                    hold_expires_at=900.0,
+                ),
+            ),
+            kind="certify",
+        )
+        again = wal.posting_from_wire(wal.posting_to_wire(posting))
+        assert again == posting
+        assert again.legs[1].hold_payee == payee
+
+
+class _Component:
+    """A dict-backed component for exercising the store seams."""
+
+    def __init__(self, store):
+        self.state = {}
+        self.store = store
+
+    def put(self, key, value):
+        self.state[key] = value
+        self.store.append("put", {"key": key, "value": value})
+
+    def wire(self, store):
+        store.handler(
+            "put", lambda d: self.state.__setitem__(d["key"], d["value"])
+        )
+        store.snapshotter(
+            "component",
+            lambda: dict(self.state),
+            lambda s: self.state.update(s),
+        )
+
+
+class TestDurabilityStore:
+    def build(self, tmp_path, **kwargs):
+        store = DurabilityStore(str(tmp_path / "srv"), **kwargs)
+        component = _Component(store)
+        component.wire(store)
+        return store, component
+
+    def test_recover_replays_wal(self, tmp_path):
+        store, component = self.build(tmp_path)
+        component.put("a", 1)
+        component.put("b", 2)
+        # A new process: same directory, empty memory.
+        store2, component2 = self.build(tmp_path)
+        report = store2.recover()
+        assert component2.state == {"a": 1, "b": 2}
+        assert report.replayed == {"put": 2}
+        assert report.ok
+
+    def test_auto_compaction_folds_wal_into_snapshot(self, tmp_path):
+        store, component = self.build(tmp_path, snapshot_every=3)
+        for i in range(7):
+            component.put(f"k{i}", i)
+        assert store.compactions == 2
+        # Only the post-compaction tail remains in the log.
+        records, _ = wal.read_records(store.wal_path)
+        assert len(records) == 1
+        store2, component2 = self.build(tmp_path, snapshot_every=3)
+        report = store2.recover()
+        assert report.snapshot_restored
+        assert report.replayed == {"put": 1}
+        assert component2.state == {f"k{i}": i for i in range(7)}
+
+    def test_replay_does_not_relog(self, tmp_path):
+        store, component = self.build(tmp_path)
+        component.put("a", 1)
+        size = os.path.getsize(store.wal_path)
+        store2, _ = self.build(tmp_path)
+        store2.recover()
+        assert os.path.getsize(store2.wal_path) == size
+
+    def test_torn_tail_truncated_and_reported(self, tmp_path):
+        store, component = self.build(tmp_path)
+        component.put("a", 1)
+        with open(store.wal_path, "ab") as handle:
+            handle.write(b"\x00\x00\x00\x20torn")
+        store2, component2 = self.build(tmp_path)
+        report = store2.recover()
+        assert report.torn_bytes == 8
+        assert report.ok
+        assert component2.state == {"a": 1}
+        # The log is clean again: appends resume on a record boundary.
+        component2.put("b", 2)
+        records, torn = wal.read_records(store2.wal_path)
+        assert torn == 0 and len(records) == 2
+
+    def test_unknown_kind_is_a_problem(self, tmp_path):
+        store, component = self.build(tmp_path)
+        store.append("mystery", {"x": 1})
+        store2, _ = self.build(tmp_path)
+        report = store2.recover()
+        assert not report.ok
+        assert "mystery" in report.problems[0]
+
+    def test_failing_handler_is_a_problem_not_a_crash(self, tmp_path):
+        store, component = self.build(tmp_path)
+        component.put("a", 1)
+        store.append("boom", {})
+        store2, component2 = self.build(tmp_path)
+
+        def explode(data):
+            raise RuntimeError("bad record")
+
+        store2.handler("boom", explode)
+        report = store2.recover()
+        assert component2.state == {"a": 1}
+        assert any("boom" in p for p in report.problems)
+
+    def test_recovery_counts_toward_next_compaction(self, tmp_path):
+        store, component = self.build(tmp_path, snapshot_every=3)
+        component.put("a", 1)
+        component.put("b", 2)
+        store2, component2 = self.build(tmp_path, snapshot_every=3)
+        store2.recover()
+        component2.put("c", 3)
+        # 2 replayed + 1 fresh reaches the threshold.
+        assert store2.compactions == 1
